@@ -1,0 +1,284 @@
+//! Fine-grained fabric: an embedded FPGA partitioned into Partially
+//! Reconfigurable Containers (PRCs).
+//!
+//! Each PRC can hold exactly one data path at a time. Data paths are loaded
+//! as partial bitstreams through a single serial configuration port, so
+//! concurrent load requests queue up (handled by
+//! [`ReconfigurationController`](crate::reconfig::ReconfigurationController)).
+
+use crate::clock::Cycles;
+use crate::error::ArchError;
+use crate::params::ArchParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one Partially Reconfigurable Container.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PrcId(pub u16);
+
+impl fmt::Display for PrcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PRC{}", self.0)
+    }
+}
+
+/// Opaque identifier of a loaded artefact (a data path instance). The
+/// architecture layer does not interpret it; higher layers use it to map
+/// fabric contents back to ISE data paths.
+pub type LoadedId = u64;
+
+/// The occupancy state of one PRC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrcState {
+    /// Nothing loaded; the container is free.
+    Empty,
+    /// A partial bitstream is streaming in; usable from `ready_at` onwards.
+    Loading {
+        /// What is being loaded.
+        id: LoadedId,
+        /// Core-cycle timestamp at which the load completes.
+        ready_at: Cycles,
+    },
+    /// A data path is resident and usable.
+    Loaded {
+        /// What is loaded.
+        id: LoadedId,
+    },
+}
+
+/// One Partially Reconfigurable Container.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prc {
+    id: PrcId,
+    state: PrcState,
+}
+
+impl Prc {
+    /// Creates an empty container.
+    #[must_use]
+    pub fn new(id: PrcId) -> Self {
+        Prc {
+            id,
+            state: PrcState::Empty,
+        }
+    }
+
+    /// The container's identifier.
+    #[must_use]
+    pub fn id(&self) -> PrcId {
+        self.id
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> PrcState {
+        self.state
+    }
+
+    /// Whether the container holds no (complete or in-flight) data path.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        matches!(self.state, PrcState::Empty)
+    }
+
+    /// Returns the resident data path if fully loaded **and** `now` has
+    /// passed its completion (for `Loading` states).
+    #[must_use]
+    pub fn resident(&self, now: Cycles) -> Option<LoadedId> {
+        match self.state {
+            PrcState::Loaded { id } => Some(id),
+            PrcState::Loading { id, ready_at } if now >= ready_at => Some(id),
+            _ => None,
+        }
+    }
+}
+
+/// The fine-grained reconfigurable fabric: a set of PRCs behind one
+/// configuration port.
+///
+/// # Example
+///
+/// ```
+/// use mrts_arch::{ArchParams, Cycles, FgFabric};
+///
+/// let params = ArchParams::default();
+/// let mut fg = FgFabric::new(3);
+/// assert_eq!(fg.free_count(), 3);
+///
+/// let prc = fg.begin_load(7, Cycles::new(480_000)).expect("a PRC is free");
+/// assert_eq!(fg.free_count(), 2);
+/// fg.settle(Cycles::new(480_000));
+/// assert_eq!(fg.resident_ids(Cycles::new(480_000)), vec![7]);
+/// # let _ = (params, prc);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FgFabric {
+    prcs: Vec<Prc>,
+}
+
+impl FgFabric {
+    /// Creates a fabric with `n` empty PRCs.
+    #[must_use]
+    pub fn new(n: u16) -> Self {
+        FgFabric {
+            prcs: (0..n).map(|i| Prc::new(PrcId(i))).collect(),
+        }
+    }
+
+    /// Total number of PRCs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prcs.len()
+    }
+
+    /// Whether the fabric has no PRCs at all (a CG-only machine).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prcs.is_empty()
+    }
+
+    /// Number of PRCs currently empty (not loaded, not loading).
+    #[must_use]
+    pub fn free_count(&self) -> u16 {
+        self.prcs.iter().filter(|p| p.is_empty()).count() as u16
+    }
+
+    /// Iterates over the containers.
+    pub fn iter(&self) -> impl Iterator<Item = &Prc> {
+        self.prcs.iter()
+    }
+
+    /// Starts loading data path `id` into the first free PRC; the load
+    /// completes at `ready_at` (computed by the reconfiguration controller).
+    /// Returns the chosen PRC, or `None` if every container is busy.
+    pub fn begin_load(&mut self, id: LoadedId, ready_at: Cycles) -> Option<PrcId> {
+        let prc = self.prcs.iter_mut().find(|p| p.is_empty())?;
+        prc.state = PrcState::Loading { id, ready_at };
+        Some(prc.id)
+    }
+
+    /// Converts every `Loading` entry whose deadline has passed into
+    /// `Loaded`. Call whenever simulated time advances.
+    pub fn settle(&mut self, now: Cycles) {
+        for p in &mut self.prcs {
+            if let PrcState::Loading { id, ready_at } = p.state {
+                if now >= ready_at {
+                    p.state = PrcState::Loaded { id };
+                }
+            }
+        }
+    }
+
+    /// Frees the PRC currently holding (or loading) `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidState`] if no container holds `id`.
+    pub fn evict(&mut self, id: LoadedId) -> Result<PrcId, ArchError> {
+        for p in &mut self.prcs {
+            let holds = match p.state {
+                PrcState::Loaded { id: l } | PrcState::Loading { id: l, .. } => l == id,
+                PrcState::Empty => false,
+            };
+            if holds {
+                p.state = PrcState::Empty;
+                return Ok(p.id);
+            }
+        }
+        Err(ArchError::InvalidState(format!(
+            "no PRC holds data path {id}"
+        )))
+    }
+
+    /// Clears the whole fabric (used when a functional block ends and the
+    /// scenario reclaims fabric for other tasks).
+    pub fn evict_all(&mut self) {
+        for p in &mut self.prcs {
+            p.state = PrcState::Empty;
+        }
+    }
+
+    /// IDs of all data paths resident (usable) at time `now`, ascending.
+    #[must_use]
+    pub fn resident_ids(&self, now: Cycles) -> Vec<LoadedId> {
+        let mut v: Vec<LoadedId> = self.prcs.iter().filter_map(|p| p.resident(now)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether data path `id` is resident and usable at `now`.
+    #[must_use]
+    pub fn is_resident(&self, id: LoadedId, now: Cycles) -> bool {
+        self.prcs.iter().any(|p| p.resident(now) == Some(id))
+    }
+
+    /// Reconfiguration time for one data path of `bitstream_bytes` bytes
+    /// under `params` (pure helper; queueing is the controller's job).
+    #[must_use]
+    pub fn reconfig_time(params: &ArchParams, bitstream_bytes: u64) -> Cycles {
+        params.fg_reconfig_time(bitstream_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_load_occupies_a_free_prc() {
+        let mut fg = FgFabric::new(2);
+        assert!(fg.begin_load(1, Cycles::new(10)).is_some());
+        assert!(fg.begin_load(2, Cycles::new(10)).is_some());
+        assert_eq!(fg.free_count(), 0);
+        assert!(fg.begin_load(3, Cycles::new(10)).is_none());
+    }
+
+    #[test]
+    fn loading_becomes_resident_only_after_ready_at() {
+        let mut fg = FgFabric::new(1);
+        fg.begin_load(42, Cycles::new(100)).unwrap();
+        assert!(!fg.is_resident(42, Cycles::new(99)));
+        assert!(fg.is_resident(42, Cycles::new(100)));
+        fg.settle(Cycles::new(100));
+        assert!(matches!(
+            fg.iter().next().unwrap().state(),
+            PrcState::Loaded { id: 42 }
+        ));
+    }
+
+    #[test]
+    fn evict_frees_the_container() {
+        let mut fg = FgFabric::new(1);
+        fg.begin_load(7, Cycles::new(5)).unwrap();
+        let prc = fg.evict(7).expect("held");
+        assert_eq!(prc, PrcId(0));
+        assert_eq!(fg.free_count(), 1);
+        assert!(fg.evict(7).is_err());
+    }
+
+    #[test]
+    fn evict_all_clears_everything() {
+        let mut fg = FgFabric::new(3);
+        fg.begin_load(1, Cycles::ZERO).unwrap();
+        fg.begin_load(2, Cycles::ZERO).unwrap();
+        fg.evict_all();
+        assert_eq!(fg.free_count(), 3);
+    }
+
+    #[test]
+    fn resident_ids_sorted() {
+        let mut fg = FgFabric::new(3);
+        fg.begin_load(9, Cycles::ZERO).unwrap();
+        fg.begin_load(3, Cycles::ZERO).unwrap();
+        assert_eq!(fg.resident_ids(Cycles::new(1)), vec![3, 9]);
+    }
+
+    #[test]
+    fn zero_prc_machine() {
+        let fg = FgFabric::new(0);
+        assert!(fg.is_empty());
+        assert_eq!(fg.free_count(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # mrts-arch — model of a multi-grained reconfigurable processor
+//!
+//! This crate models the hardware substrate assumed by the mRTS run-time
+//! system (Ahmed, Shafique, Bauer, Henkel: *mRTS: Run-Time System for
+//! Reconfigurable Processors with Multi-Grained Instruction-Set Extensions*,
+//! DATE 2011): a RISC core tightly coupled with
+//!
+//! * a **fine-grained (FG) fabric** — an embedded FPGA partitioned into
+//!   *Partially Reconfigurable Containers* (PRCs) that load data-path
+//!   bitstreams through a serial configuration port
+//!   ([`fg::FgFabric`]), and
+//! * a **coarse-grained (CG) fabric** — an array of coarse-grained elements
+//!   (CG-EDPEs) with two ALUs, two register files and an 80-bit × 32-entry
+//!   context memory each ([`cg::CgFabric`]).
+//!
+//! The numeric defaults in [`params::ArchParams`] are the
+//! constants published in Section 5.1 of the paper (400 MHz CG / 100 MHz FG
+//! clocks, 67 584 KB/s configuration bandwidth, 2-cycle context switch,
+//! 1/2/10-cycle ALU/multiply/divide, …). Everything is parametric so that the
+//! evaluation can sweep fabric combinations exactly like the paper's Fig. 8.
+//!
+//! All simulation time is expressed in **core clock cycles** via the
+//! [`clock::Cycles`] newtype; cross-domain conversion helpers live in
+//! [`clock`].
+//!
+//! ## Example
+//!
+//! ```
+//! use mrts_arch::{ArchParams, Machine, Resources};
+//!
+//! # fn main() -> Result<(), mrts_arch::ArchError> {
+//! // A machine with 2 CG-EDPEs and 3 PRCs — one point of the paper's sweep.
+//! let params = ArchParams::default();
+//! let machine = Machine::new(params, Resources::new(2, 3))?;
+//! assert_eq!(machine.budget().cg(), 2);
+//! assert_eq!(machine.budget().prc(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cg;
+pub mod clock;
+pub mod error;
+pub mod fg;
+pub mod machine;
+pub mod params;
+pub mod reconfig;
+pub mod resources;
+pub mod scratchpad;
+
+pub use cg::{CgEdpe, CgFabric, ContextMemory, EdpeId, EdpeState, OpClass};
+pub use clock::{ClockDomain, Cycles, Frequency};
+pub use error::ArchError;
+pub use fg::{FgFabric, Prc, PrcId, PrcState};
+pub use machine::Machine;
+pub use params::ArchParams;
+pub use reconfig::{FabricKind, LoadRequest, LoadTicket, ReconfigurationController};
+pub use resources::Resources;
+pub use scratchpad::Scratchpad;

@@ -1,0 +1,192 @@
+//! Scratch-pad memories.
+//!
+//! *"Both FG- and CG-fabrics have dedicated scratch pad memories —
+//! connected to the memory hierarchy — to allow for fast data access and to
+//! store intermediate results."* (Section 3, Fig. 3)
+//!
+//! The scratch-pad is word-addressed and **banked**: consecutive words live
+//! in consecutive banks (low-order interleaving), so a burst of accesses
+//! touching distinct banks completes in parallel while same-bank accesses
+//! serialize. The CG-EDPE interpreter uses it as its data memory; the
+//! bank-conflict accounting feeds wide (128-bit) FG load/store modelling.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A banked, word-addressed scratch-pad memory.
+///
+/// # Example
+///
+/// ```
+/// use mrts_arch::Scratchpad;
+///
+/// let mut spm = Scratchpad::new(4, 64); // 4 banks x 64 words
+/// spm.write(5, 99);
+/// assert_eq!(spm.read(5), 99);
+/// // Four consecutive words hit four distinct banks: one access round.
+/// assert_eq!(spm.access_cycles(&[0, 1, 2, 3]), 1);
+/// // Four words in the same bank serialize.
+/// assert_eq!(spm.access_cycles(&[0, 4, 8, 12]), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scratchpad {
+    banks: u32,
+    words_per_bank: u32,
+    data: Vec<u32>,
+}
+
+impl Scratchpad {
+    /// Creates a zeroed scratch-pad of `banks` × `words_per_bank` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(banks: u32, words_per_bank: u32) -> Self {
+        assert!(banks > 0, "a scratch-pad needs at least one bank");
+        assert!(words_per_bank > 0, "banks must hold at least one word");
+        Scratchpad {
+            banks,
+            words_per_bank,
+            data: vec![0; (banks * words_per_bank) as usize],
+        }
+    }
+
+    /// Total capacity in 32-bit words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the scratch-pad holds zero words (never true by
+    /// construction; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// The bank an address maps to (low-order interleaving).
+    #[must_use]
+    pub fn bank_of(&self, addr: u32) -> u32 {
+        (addr % self.len() as u32) % self.banks
+    }
+
+    /// Reads the word at `addr` (addresses wrap modulo capacity, like the
+    /// hardware's address decoder).
+    #[must_use]
+    pub fn read(&self, addr: u32) -> u32 {
+        self.data[(addr as usize) % self.data.len()]
+    }
+
+    /// Writes the word at `addr` (wrapping).
+    pub fn write(&mut self, addr: u32, value: u32) {
+        let len = self.data.len();
+        self.data[(addr as usize) % len] = value;
+    }
+
+    /// Zeroes the memory.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+
+    /// Cycles needed to service a burst of simultaneous accesses: the
+    /// maximum number of accesses landing in one bank (same-bank accesses
+    /// serialize; distinct banks proceed in parallel). An empty burst is
+    /// free.
+    #[must_use]
+    pub fn access_cycles(&self, addrs: &[u32]) -> u64 {
+        let mut per_bank = vec![0u64; self.banks as usize];
+        for &a in addrs {
+            per_bank[self.bank_of(a) as usize] += 1;
+        }
+        per_bank.into_iter().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Scratchpad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scratchpad {}x{} words ({} KiB)",
+            self.banks,
+            self.words_per_bank,
+            self.len() * 4 / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn read_after_write() {
+        let mut s = Scratchpad::new(4, 16);
+        s.write(10, 1234);
+        assert_eq!(s.read(10), 1234);
+        assert_eq!(s.read(11), 0);
+        s.clear();
+        assert_eq!(s.read(10), 0);
+    }
+
+    #[test]
+    fn addresses_wrap() {
+        let mut s = Scratchpad::new(2, 8); // 16 words
+        s.write(16, 7); // wraps to 0
+        assert_eq!(s.read(0), 7);
+        assert_eq!(s.read(32), 7);
+    }
+
+    #[test]
+    fn bank_interleaving() {
+        let s = Scratchpad::new(4, 16);
+        assert_eq!(s.bank_of(0), 0);
+        assert_eq!(s.bank_of(1), 1);
+        assert_eq!(s.bank_of(4), 0);
+        assert_eq!(s.bank_of(7), 3);
+    }
+
+    #[test]
+    fn conflict_accounting() {
+        let s = Scratchpad::new(4, 16);
+        assert_eq!(s.access_cycles(&[]), 0);
+        assert_eq!(s.access_cycles(&[0]), 1);
+        assert_eq!(s.access_cycles(&[0, 1, 2, 3]), 1);
+        assert_eq!(s.access_cycles(&[0, 4]), 2);
+        assert_eq!(s.access_cycles(&[0, 1, 5, 9]), 3); // bank 1 hit thrice
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = Scratchpad::new(0, 16);
+    }
+
+    proptest! {
+        /// Reads return the last value written to the same (wrapped) address.
+        #[test]
+        fn last_write_wins(addr in 0u32..1_000, a in any::<u32>(), b in any::<u32>()) {
+            let mut s = Scratchpad::new(4, 64);
+            s.write(addr, a);
+            s.write(addr, b);
+            prop_assert_eq!(s.read(addr), b);
+        }
+
+        /// A burst never takes more cycles than its length, and at least
+        /// ceil(len / banks).
+        #[test]
+        fn conflict_bounds(addrs in proptest::collection::vec(0u32..4_096, 0..32)) {
+            let s = Scratchpad::new(4, 64);
+            let c = s.access_cycles(&addrs);
+            prop_assert!(c <= addrs.len() as u64);
+            prop_assert!(c >= (addrs.len() as u64).div_ceil(4).min(addrs.len() as u64));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! # mrts-bench — the experiment harness
+//!
+//! One binary per figure of the paper's evaluation (Section 5):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig1_pif` | Fig. 1 — pif of the three deblocking-filter ISEs vs. executions |
+//! | `fig2_exec_behavior` | Fig. 2 — per-frame deblocking executions + best ISE |
+//! | `fig8_comparison` | Fig. 8 — four approaches over 20 fabric combinations |
+//! | `fig9_heuristic_vs_optimal` | Fig. 9 — % gap greedy vs. online-optimal |
+//! | `fig10_speedup_risc` | Fig. 10 — speedup vs. RISC-mode, FG/CG/MG groups |
+//! | `overhead_mrts` | Section 5.4 — selection cost and overhead fraction |
+//! | `ablation_design_choices` | extra — monoCG / MPU / copies ablations |
+//!
+//! This library holds the pieces the binaries share: the fabric-combination
+//! sweep, policy construction and run helpers, and plain-text table
+//! printing. Everything is deterministic (fixed seeds) so figure output is
+//! reproducible bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mrts_arch::{ArchParams, Cycles, Machine, Resources};
+use mrts_baselines::{
+    LooselyCoupledPolicy, OfflineOptimalPolicy, OnlineOptimalPolicy, ProfiledTotals, RisppPolicy,
+};
+use mrts_core::Mrts;
+use mrts_ise::IseCatalog;
+use mrts_sim::{RiscOnlyPolicy, RunStats, RuntimePolicy, Simulator};
+use mrts_workload::h264::H264Encoder;
+use mrts_workload::{Trace, TraceBuilder, VideoModel, WorkloadModel};
+
+/// The seed every figure uses (printed in each header for reproducibility).
+pub const DEFAULT_SEED: u64 = 1;
+
+/// The Fig. 8 fabric sweep: CG fabrics 0..=4 × PRCs 0..=3 (the first
+/// combination, 0/0, is the RISC-mode reference).
+#[must_use]
+pub fn fig8_combos() -> Vec<Resources> {
+    let mut v = Vec::new();
+    for cg in 0..=4u16 {
+        for prc in 0..=3u16 {
+            v.push(Resources::new(cg, prc));
+        }
+    }
+    v
+}
+
+/// The Fig. 9 sweep: CG fabrics 0..=3 × PRCs 0..=6 (the paper's surface
+/// puts its worst case at {0 CG, 4 PRCs}).
+#[must_use]
+pub fn fig9_combos() -> Vec<Resources> {
+    let mut v = Vec::new();
+    for cg in 0..=3u16 {
+        for prc in 0..=6u16 {
+            v.push(Resources::new(cg, prc));
+        }
+    }
+    v
+}
+
+/// Everything a figure run needs: the encoder model, its catalogue and the
+/// video-driven trace.
+#[derive(Debug)]
+pub struct Testbed {
+    /// The encoder workload model.
+    pub encoder: H264Encoder,
+    /// The compile-time ISE catalogue.
+    pub catalog: IseCatalog,
+    /// The trace of the whole encoding run.
+    pub trace: Trace,
+    /// The profiling summary for the offline baselines.
+    pub totals: ProfiledTotals,
+}
+
+impl Testbed {
+    /// Builds the standard testbed (paper video, paper architecture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statically defined encoder kernels fail to map — a
+    /// programming error, covered by the workload crate's tests.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let encoder = H264Encoder::new();
+        let catalog = encoder
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .expect("encoder kernels are mappable");
+        let trace = TraceBuilder::new(&encoder)
+            .video(VideoModel::paper_default(seed))
+            .build();
+        let totals = ProfiledTotals::from_trace(&trace);
+        Testbed {
+            encoder,
+            catalog,
+            trace,
+            totals,
+        }
+    }
+
+    /// A fresh machine with the given fabric combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on invalid default parameters (impossible).
+    #[must_use]
+    pub fn machine(&self, combo: Resources) -> Machine {
+        Machine::new(ArchParams::default(), combo).expect("default params are valid")
+    }
+
+    /// Runs one policy on one fabric combination.
+    #[must_use]
+    pub fn run(&self, combo: Resources, policy: &mut dyn RuntimePolicy) -> RunStats {
+        Simulator::run(&self.catalog, self.machine(combo), &self.trace, policy)
+    }
+
+    /// Runs the four Fig. 8 contenders plus the RISC reference on one
+    /// combination. Returns `(risc, rispp, offline_optimal, morpheus_4s,
+    /// mrts)`.
+    #[must_use]
+    pub fn run_fig8_contenders(
+        &self,
+        combo: Resources,
+    ) -> (RunStats, RunStats, RunStats, RunStats, RunStats) {
+        let risc = self.run(combo, &mut RiscOnlyPolicy::new());
+        let rispp = self.run(combo, &mut RisppPolicy::new());
+        let capacity = self.machine(combo).capacity();
+        let offline = self.run(
+            combo,
+            &mut OfflineOptimalPolicy::new(&self.catalog, capacity, &self.totals),
+        );
+        let morpheus = self.run(
+            combo,
+            &mut LooselyCoupledPolicy::new(&self.catalog, capacity, &self.totals),
+        );
+        let mrts = self.run(combo, &mut Mrts::new());
+        (risc, rispp, offline, morpheus, mrts)
+    }
+
+    /// Runs greedy-mRTS and the online-optimal reference on one
+    /// combination. Returns `(mrts, optimal)`.
+    #[must_use]
+    pub fn run_fig9_pair(&self, combo: Resources) -> (RunStats, RunStats) {
+        let mrts = self.run(combo, &mut Mrts::new());
+        let optimal = self.run(combo, &mut OnlineOptimalPolicy::new());
+        (mrts, optimal)
+    }
+}
+
+/// Geometric mean of a slice (1.0 for empty input).
+#[must_use]
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean (0.0 for empty input).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Formats a cycles value as millions with three decimals (the Fig. 8
+/// y-axis unit).
+#[must_use]
+pub fn mcycles(c: Cycles) -> String {
+    format!("{:8.3}", c.as_mcycles())
+}
+
+/// Prints a standard figure header with the reproduction seed.
+pub fn print_header(figure: &str, description: &str, seed: u64) {
+    println!("================================================================");
+    println!("{figure} — {description}");
+    println!("(mRTS reproduction; deterministic, seed = {seed})");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combo_sweeps_have_expected_sizes() {
+        assert_eq!(fig8_combos().len(), 20);
+        assert_eq!(fig8_combos()[0], Resources::NONE);
+        assert_eq!(fig9_combos().len(), 28);
+    }
+
+    #[test]
+    fn means() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 1.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn testbed_builds_and_runs_smallest_combo() {
+        let tb = Testbed::new(DEFAULT_SEED);
+        let stats = tb.run(Resources::NONE, &mut RiscOnlyPolicy::new());
+        assert!(stats.total_busy().get() > 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal dependency-free argument parsing for the CLI.
+//!
+//! Flags are `--name value` pairs; everything before the first flag is the
+//! subcommand. Unknown flags are reported with the subcommand's usage.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: subcommand plus `--flag value` pairs.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    command: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for a flag without a value or a stray
+    /// positional argument after flags started.
+    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                args.command = iter.next();
+            }
+        }
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument '{token}' (flags are --name value)"
+                )));
+            };
+            let Some(value) = iter.next() else {
+                return Err(ArgError(format!("flag --{name} is missing its value")));
+            };
+            args.flags.insert(name.to_owned(), value);
+        }
+        Ok(args)
+    }
+
+    /// The subcommand, if any.
+    #[must_use]
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// A string flag.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A string flag with a default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// A parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] if the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{name}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// Rejects flags outside the allowed set (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the first unknown flag.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{k} (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse(&["simulate", "--cg", "2", "--policy", "mrts"]).unwrap();
+        assert_eq!(a.command(), Some("simulate"));
+        assert_eq!(a.get("policy"), Some("mrts"));
+        assert_eq!(a.get_num::<u16>("cg", 0).unwrap(), 2);
+        assert_eq!(a.get_num::<u16>("prc", 7).unwrap(), 7);
+        assert!(a.expect_only(&["cg", "policy"]).is_ok());
+        assert!(a.expect_only(&["cg"]).is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["x", "--flag"]).is_err());
+        assert!(parse(&["x", "stray"]).is_err());
+        let a = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(a.get_num::<u32>("n", 0).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command(), None);
+    }
+}

@@ -1,0 +1,309 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use mrts_arch::{ArchParams, Cycles, FabricKind, Machine, Resources};
+use mrts_baselines::{
+    LooselyCoupledPolicy, OfflineOptimalPolicy, OnlineOptimalPolicy, ProfiledTotals, RisppPolicy,
+};
+use mrts_core::Mrts;
+use mrts_ise::{Ise, IseCatalog};
+use mrts_sim::{ExecClass, RiscOnlyPolicy, RunStats, RuntimePolicy, Simulator};
+use mrts_workload::apps::{CipherApp, FftApp};
+use mrts_workload::h264::H264Encoder;
+use mrts_workload::synthetic::ToyApp;
+use mrts_workload::{Trace, TraceBuilder, VideoModel, WorkloadModel};
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+type BuildOutput = (Box<dyn WorkloadModel>, IseCatalog, Trace);
+
+fn model(name: &str) -> Result<Box<dyn WorkloadModel>, String> {
+    match name {
+        "h264" => Ok(Box::new(H264Encoder::new())),
+        "fft" => Ok(Box::new(FftApp::new())),
+        "cipher" => Ok(Box::new(CipherApp::new())),
+        "toy" => Ok(Box::new(ToyApp::new())),
+        other => Err(format!("unknown app '{other}' (h264|fft|cipher|toy)")),
+    }
+}
+
+fn build(args: &Args) -> Result<BuildOutput, Box<dyn std::error::Error>> {
+    let app = model(args.get_or("app", "h264"))?;
+    let seed: u64 = args.get_num("seed", 1)?;
+    let catalog = app
+        .application()
+        .build_catalog(ArchParams::default(), None)?;
+    let trace = TraceBuilder::new(app.as_ref())
+        .video(VideoModel::paper_default(seed))
+        .build();
+    Ok((app, catalog, trace))
+}
+
+fn policy(
+    name: &str,
+    catalog: &IseCatalog,
+    capacity: Resources,
+    totals: &ProfiledTotals,
+) -> Result<Box<dyn RuntimePolicy>, String> {
+    match name {
+        "mrts" => Ok(Box::new(Mrts::new())),
+        "risc" => Ok(Box::new(RiscOnlyPolicy::new())),
+        "rispp" => Ok(Box::new(RisppPolicy::new())),
+        "morpheus" => Ok(Box::new(LooselyCoupledPolicy::new(catalog, capacity, totals))),
+        "offline" => Ok(Box::new(OfflineOptimalPolicy::new(catalog, capacity, totals))),
+        "optimal" => Ok(Box::new(OnlineOptimalPolicy::new())),
+        other => Err(format!(
+            "unknown policy '{other}' (mrts|risc|rispp|morpheus|offline|optimal)"
+        )),
+    }
+}
+
+/// `mrts-cli catalog` — inspect the compile-time ISE catalogue.
+pub fn catalog(args: &Args) -> CliResult {
+    args.expect_only(&["app", "seed"])?;
+    let (app, catalog, _) = build(args)?;
+    println!(
+        "application '{}': {} kernels, {} functional blocks",
+        app.application().name(),
+        catalog.kernels().len(),
+        app.application().blocks().len()
+    );
+    println!(
+        "{} ISE variants, {} load units\n",
+        catalog.ises().len(),
+        catalog.units().len()
+    );
+    println!(
+        "{:<10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "kernel", "RISC cyc", "variants", "FG", "CG", "MG", "mono"
+    );
+    println!("{}", "-".repeat(68));
+    for k in catalog.kernels() {
+        let variants: Vec<&Ise> = catalog
+            .ises_of(k.id())
+            .iter()
+            .map(|i| catalog.ise(*i).expect("dense ids"))
+            .collect();
+        let count = |g: mrts_ise::Grain| {
+            variants
+                .iter()
+                .filter(|i| i.grain() == g && !i.is_mono_extension())
+                .count()
+        };
+        println!(
+            "{:<10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            k.name(),
+            k.risc_latency().get(),
+            variants.len(),
+            count(mrts_ise::Grain::FineGrained),
+            count(mrts_ise::Grain::CoarseGrained),
+            count(mrts_ise::Grain::MultiGrained),
+            if k.mono_cg().is_some() { "yes" } else { "no" },
+        );
+    }
+    for b in app.application().blocks() {
+        println!(
+            "\nblock '{}': {} kernels, {} one-ISE-per-kernel combinations",
+            b.name,
+            b.kernels.len(),
+            catalog.combination_count(&b.kernels)
+        );
+    }
+    Ok(())
+}
+
+/// `mrts-cli simulate` — one app, one machine, one policy.
+pub fn simulate(args: &Args) -> CliResult {
+    args.expect_only(&["app", "seed", "cg", "prc", "policy"])?;
+    let (_, catalog, trace) = build(args)?;
+    let combo = Resources::new(args.get_num("cg", 2)?, args.get_num("prc", 2)?);
+    let machine = Machine::new(ArchParams::default(), combo)?;
+    let capacity = machine.capacity();
+    let totals = ProfiledTotals::from_trace(&trace);
+    let mut p = policy(args.get_or("policy", "mrts"), &catalog, capacity, &totals)?;
+    let stats = Simulator::run(&catalog, machine, &trace, p.as_mut());
+
+    // The RISC reference for a speedup line.
+    let risc_machine = Machine::new(ArchParams::default(), combo)?;
+    let risc = Simulator::run(&catalog, risc_machine, &trace, &mut RiscOnlyPolicy::new());
+
+    println!("machine  : {} ({} usable slots)", combo, capacity);
+    println!("policy   : {}", stats.policy);
+    println!(
+        "time     : {:.3} Mcycles ({:.3} busy + {:.3} overhead)",
+        stats.total_execution_time().as_mcycles(),
+        stats.total_busy().as_mcycles(),
+        stats.total_overhead().as_mcycles()
+    );
+    println!("speedup  : {:.2}x vs RISC-mode", stats.speedup_vs(&risc).max(0.0));
+    println!("executions by implementation:");
+    let h = stats.class_histogram();
+    for class in ExecClass::ALL {
+        let n = h.get(&class).copied().unwrap_or(0);
+        let pct = 100.0 * n as f64 / stats.total_executions().max(1) as f64;
+        println!("  {:<14} {n:>9}  ({pct:5.1}%)", class.to_string());
+    }
+    if stats.rejected_loads > 0 {
+        println!("warning: {} load requests were rejected", stats.rejected_loads);
+    }
+    Ok(())
+}
+
+/// `mrts-cli sweep` — the Fig. 8 grid for one policy, vs RISC-mode.
+pub fn sweep(args: &Args) -> CliResult {
+    args.expect_only(&["app", "seed", "policy", "format"])?;
+    let (_, catalog, trace) = build(args)?;
+    let totals = ProfiledTotals::from_trace(&trace);
+    let name = args.get_or("policy", "mrts");
+    let format = args.get_or("format", "table");
+    let csv = match format {
+        "csv" => true,
+        "table" => false,
+        other => return Err(format!("unknown format '{other}' (table|csv)").into()),
+    };
+
+    let risc_ref = {
+        let machine = Machine::new(ArchParams::default(), Resources::NONE)?;
+        Simulator::run(&catalog, machine, &trace, &mut RiscOnlyPolicy::new())
+    };
+    if csv {
+        println!("cg,prc,mcycles,speedup_vs_risc");
+    } else {
+        println!("policy: {name}");
+        println!("{:>4} {:>4} {:>12} {:>9}", "CG", "PRC", "Mcycles", "speedup");
+        println!("{}", "-".repeat(34));
+    }
+    for cg in 0..=4u16 {
+        for prc in 0..=3u16 {
+            let combo = Resources::new(cg, prc);
+            let machine = Machine::new(ArchParams::default(), combo)?;
+            let capacity = machine.capacity();
+            let mut p = policy(name, &catalog, capacity, &totals)?;
+            let stats = Simulator::run(&catalog, machine, &trace, p.as_mut());
+            let s = risc_ref.total_execution_time().get() as f64
+                / stats.total_execution_time().get().max(1) as f64;
+            if csv {
+                println!(
+                    "{cg},{prc},{:.3},{s:.3}",
+                    stats.total_execution_time().as_mcycles()
+                );
+            } else {
+                println!(
+                    "{cg:>4} {prc:>4} {:>12.3} {s:>8.2}x",
+                    stats.total_execution_time().as_mcycles()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `mrts-cli trace` — generate and export a workload trace as JSON.
+pub fn trace(args: &Args) -> CliResult {
+    args.expect_only(&["app", "seed", "out"])?;
+    let (_, _, trace) = build(args)?;
+    let json = serde_json::to_string_pretty(&trace)?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json)?;
+            println!(
+                "wrote {} activations ({} bytes) to {path}",
+                trace.len(),
+                json.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// `mrts-cli pif` — Eq. 1 table for one kernel's grain-representative ISEs.
+pub fn pif(args: &Args) -> CliResult {
+    args.expect_only(&["app", "seed", "kernel", "max-exec"])?;
+    let (app, catalog, _) = build(args)?;
+    let kernel_name = args.get_or("kernel", "deblock");
+    let max_exec: u64 = args.get_num("max-exec", 10_000)?;
+    let kernel = catalog
+        .kernels()
+        .iter()
+        .find(|k| k.name() == kernel_name)
+        .ok_or_else(|| {
+            format!(
+                "unknown kernel '{kernel_name}' in app '{}' (try 'mrts-cli catalog')",
+                app.application().name()
+            )
+        })?;
+
+    // Best full-coverage variant per grain (mirrors the Fig. 1 picks).
+    let mut picks: Vec<&Ise> = Vec::new();
+    for grain in [
+        mrts_ise::Grain::FineGrained,
+        mrts_ise::Grain::CoarseGrained,
+        mrts_ise::Grain::MultiGrained,
+    ] {
+        if let Some(ise) = catalog
+            .ises_of(kernel.id())
+            .iter()
+            .map(|i| catalog.ise(*i).expect("dense ids"))
+            .filter(|i| {
+                i.grain() == grain && !i.is_mono_extension() && !i.label().contains("@sw")
+            })
+            .max_by_key(|i| i.risc_latency() - i.full_latency())
+        {
+            picks.push(ise);
+        }
+    }
+    if picks.is_empty() {
+        return Err(format!("kernel '{kernel_name}' has no full-coverage variants").into());
+    }
+    let recfg: Vec<Cycles> = picks
+        .iter()
+        .map(|ise| {
+            let mut fg = Cycles::ZERO;
+            let mut cg = Cycles::ZERO;
+            for s in ise.stages() {
+                match s.fabric {
+                    FabricKind::FineGrained => fg += s.load_duration,
+                    FabricKind::CoarseGrained => cg += s.load_duration,
+                }
+            }
+            fg.max(cg)
+        })
+        .collect();
+
+    println!("kernel '{kernel_name}' (RISC latency {} cycles)", kernel.risc_latency().get());
+    for (ise, r) in picks.iter().zip(&recfg) {
+        println!(
+            "  {:<34} {:<4} exec {:>5} cyc  reconfig {:>10.4} ms",
+            ise.label(),
+            ise.grain().to_string(),
+            ise.full_latency().get(),
+            r.as_millis_f64(catalog.params().core_clock)
+        );
+    }
+    println!();
+    print!("{:>10}", "execs");
+    for ise in &picks {
+        print!(" {:>9}", ise.grain().to_string());
+    }
+    println!();
+    let steps = 20u64;
+    for i in 1..=steps {
+        let e = max_exec * i / steps;
+        print!("{e:>10}");
+        for (ise, r) in picks.iter().zip(&recfg) {
+            print!(" {:>9.3}", ise.performance_improvement_factor(e, *r));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// Run statistics pretty-printer used by tests.
+#[allow(dead_code)]
+fn summary(stats: &RunStats) -> String {
+    format!(
+        "{}: {:.3} Mcycles",
+        stats.policy,
+        stats.total_execution_time().as_mcycles()
+    )
+}

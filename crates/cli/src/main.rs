@@ -1,0 +1,71 @@
+//! `mrts-cli` — command-line interface for the mRTS reproduction.
+//!
+//! ```text
+//! mrts-cli catalog  [--app h264|fft|cipher|toy]
+//! mrts-cli simulate [--app ..] [--cg N] [--prc N] [--policy ..] [--seed N]
+//! mrts-cli sweep    [--app ..] [--policy ..] [--seed N] [--format table|csv]
+//! mrts-cli trace    [--app ..] [--seed N] [--out FILE]
+//! mrts-cli pif      [--app ..] [--kernel NAME] [--max-exec N]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mrts-cli — run-time system for multi-grained reconfigurable processors
+
+USAGE:
+    mrts-cli <COMMAND> [--flag value ...]
+
+COMMANDS:
+    catalog    inspect the compile-time ISE catalogue of an application
+    simulate   run one application trace on one machine under one policy
+    sweep      run a policy over the Fig. 8 fabric grid (vs RISC-mode)
+    trace      generate a workload trace and write it as JSON
+    pif        print the Eq. 1 performance-improvement table for a kernel
+    help       show this message
+
+COMMON FLAGS:
+    --app      h264 (default) | fft | cipher | toy
+    --seed     video/workload seed (default 1)
+    --cg       physical CG-EDPEs (default 2)
+    --prc      PRCs (default 2)
+    --policy   mrts (default) | risc | rispp | morpheus | offline | optimal
+
+EXAMPLES:
+    mrts-cli simulate --app h264 --cg 2 --prc 2 --policy mrts
+    mrts-cli sweep --policy mrts --format csv > sweep.csv
+    mrts-cli pif --kernel deblock --max-exec 10000
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command() {
+        Some("catalog") => commands::catalog(&args),
+        Some("simulate") => commands::simulate(&args),
+        Some("sweep") => commands::sweep(&args),
+        Some("trace") => commands::trace(&args),
+        Some("pif") => commands::pif(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'; try 'mrts-cli help'").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

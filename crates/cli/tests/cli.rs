@@ -1,0 +1,118 @@
+//! End-to-end tests of the `mrts-cli` binary: every subcommand is invoked
+//! as a real process and its output / exit status checked.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mrts-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_all_commands() {
+    for args in [vec![], vec!["help"]] {
+        let out = run(&args);
+        assert!(out.status.success());
+        let text = stdout(&out);
+        for cmd in ["catalog", "simulate", "sweep", "trace", "pif"] {
+            assert!(text.contains(cmd), "help must mention '{cmd}'");
+        }
+    }
+}
+
+#[test]
+fn catalog_reports_the_encoder_structure() {
+    let out = run(&["catalog"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("11 kernels"));
+    assert!(text.contains("deblock"));
+    assert!(text.contains("one-ISE-per-kernel combinations"));
+}
+
+#[test]
+fn simulate_prints_speedup_for_each_policy() {
+    for policy in ["mrts", "rispp", "offline"] {
+        let out = run(&[
+            "simulate", "--app", "toy", "--cg", "1", "--prc", "1", "--policy", policy,
+        ]);
+        assert!(out.status.success(), "{policy}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("speedup"), "{policy}: {text}");
+        assert!(text.contains("Mcycles"));
+    }
+}
+
+#[test]
+fn sweep_csv_has_twenty_rows() {
+    let out = run(&["sweep", "--app", "toy", "--format", "csv"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("cg,prc,mcycles,speedup_vs_risc"));
+    assert_eq!(lines.count(), 20);
+}
+
+#[test]
+fn trace_round_trips_to_a_file() {
+    let dir = std::env::temp_dir().join("mrts_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.json");
+    let out = run(&[
+        "trace",
+        "--app",
+        "fft",
+        "--seed",
+        "5",
+        "--out",
+        path.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = std::fs::read_to_string(&path).expect("file written");
+    let trace: mrts_workload::Trace = serde_json::from_str(&json).expect("valid JSON trace");
+    assert_eq!(trace.len(), 16);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn pif_prints_the_case_study_table() {
+    let out = run(&["pif", "--kernel", "deblock", "--max-exec", "2000"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("kernel 'deblock'"));
+    assert!(text.contains("FG"));
+    assert!(text.contains("CG"));
+    assert!(text.contains("MG"));
+}
+
+#[test]
+fn errors_exit_nonzero_with_message() {
+    let cases: Vec<(Vec<&str>, &str)> = vec![
+        (vec!["simulate", "--policy", "bogus"], "unknown policy"),
+        (vec!["simulate", "--app", "bogus"], "unknown app"),
+        (vec!["frobnicate"], "unknown command"),
+        (vec!["simulate", "--cg"], "missing its value"),
+        (vec!["pif", "--kernel", "nope"], "unknown kernel"),
+        (vec!["sweep", "--format", "xml"], "unknown format"),
+        (vec!["catalog", "--typo", "1"], "unknown flag"),
+    ];
+    for (args, needle) in cases {
+        let out = run(&args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(
+            stderr(&out).contains(needle),
+            "{args:?}: stderr was {}",
+            stderr(&out)
+        );
+    }
+}

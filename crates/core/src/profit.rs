@@ -1,0 +1,432 @@
+//! The mRTS profit function — Eqs. 1–4 of the paper.
+//!
+//! *"The expected profit of an ISE is actually the performance improvement
+//! offered by it in a given functional block. … Since the reconfiguration
+//! of data paths of each ISE is completed at different points in time, the
+//! profit is the sum of potential performance improvements by the ISE and
+//! its intermediate ISEs."* (Section 4.1)
+//!
+//! The profit of a candidate ISE under the trigger forecast
+//! `{e, tf, tb}`:
+//!
+//! * the reconfiguration-completion time `recT(ISEᵢ)` of every intermediate
+//!   ISE is predicted through the reconfiguration controller (units already
+//!   resident are available at once; units already streaming complete at
+//!   their ticketed time; new units queue behind them on their port),
+//! * Eq. 3 turns these into expected execution counts `NoE(i)` per
+//!   intermediate ISE,
+//! * Eq. 2 weighs each count with the per-execution cycle saving, and
+//! * Eq. 4 adds the fully configured ISE's contribution for the remaining
+//!   executions.
+//!
+//! Unlike the RISPP-style cost functions tuned for ms-scale FG loads, this
+//! formulation is exact for µs-scale CG loads too — the distinction the
+//! paper identifies as the key weakness of prior run-time systems.
+
+use mrts_arch::{Cycles, LoadRequest, ReconfigurationController};
+use mrts_ise::ise::IseStage;
+use mrts_ise::{Ise, TriggerInstruction, UnitId};
+use std::fmt;
+
+/// Expected behaviour of one availability stage of a candidate ISE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageProfit {
+    /// The unit whose arrival starts this stage.
+    pub unit: UnitId,
+    /// When the unit becomes usable, relative to the trigger instruction.
+    pub ready_rel: Cycles,
+    /// Kernel latency during this stage (`latency(ISEᵢ)`).
+    pub latency: Cycles,
+    /// Expected executions during this stage (`NoE(i)`, Eq. 3).
+    pub executions: f64,
+    /// Expected cycles saved during this stage (`per_imp(i)`, Eq. 2).
+    pub improvement: f64,
+}
+
+/// Full breakdown of one profit evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfitBreakdown {
+    /// Executions spent in plain RISC mode before the first unit arrives
+    /// (`NoE_RM` in the paper's Fig. 5) — they contribute no improvement.
+    pub risc_executions: f64,
+    /// Per-stage expectations, in availability order.
+    pub stages: Vec<StageProfit>,
+    /// Executions on the fully configured ISE.
+    pub full_executions: f64,
+    /// Kernel latency of the fully configured ISE.
+    pub full_latency: Cycles,
+    /// When the last unit becomes usable, relative to the trigger.
+    pub reconfig_latency: Cycles,
+    /// Total expected profit in cycles (Eq. 4).
+    pub profit: f64,
+}
+
+impl ProfitBreakdown {
+    /// Eq. 1 for this evaluation: the performance improvement factor over
+    /// RISC-mode, using the predicted reconfiguration latency.
+    #[must_use]
+    pub fn pif(&self, ise: &Ise, executions: u64) -> f64 {
+        ise.performance_improvement_factor(executions, self.reconfig_latency)
+    }
+}
+
+impl fmt::Display for ProfitBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profit {:.0} cycles ({} stages, {:.1} RISC + {:.1} full execs, recfg {})",
+            self.profit,
+            self.stages.len(),
+            self.risc_executions,
+            self.full_executions,
+            self.reconfig_latency
+        )
+    }
+}
+
+/// Evaluates the expected profit of selecting `ise` at time `now` under the
+/// forecast `trigger`.
+///
+/// `resident` tells which units are already usable (loaded by earlier
+/// selections or by other ISEs sharing data paths — their savings are
+/// available immediately and for free). `controller` supplies completion
+/// predictions for units still streaming and for the new loads this ISE
+/// would enqueue.
+#[must_use]
+pub fn expected_profit(
+    ise: &Ise,
+    trigger: &TriggerInstruction,
+    now: Cycles,
+    controller: &ReconfigurationController,
+    resident: &dyn Fn(UnitId) -> bool,
+) -> ProfitBreakdown {
+    // 1. Per-stage availability, relative to `now`.
+    let mut new_loads: Vec<LoadRequest> = Vec::new();
+    let mut pending_new: Vec<usize> = Vec::new(); // stage index per new load
+    let mut ready_rel: Vec<Cycles> = Vec::with_capacity(ise.stage_count());
+    for (si, stage) in ise.stages().iter().enumerate() {
+        if resident(stage.unit) {
+            ready_rel.push(Cycles::ZERO);
+        } else if let Some(t) = controller.pending_ready_time(stage.unit.as_loaded_id()) {
+            ready_rel.push(t - now);
+        } else {
+            // Placeholder; filled from the prediction below.
+            ready_rel.push(Cycles::MAX);
+            pending_new.push(si);
+            new_loads.push(LoadRequest {
+                id: stage.unit.as_loaded_id(),
+                fabric: stage.fabric,
+                duration: stage.load_duration,
+            });
+        }
+    }
+    let tickets = controller.predict(now, &new_loads);
+    for (slot, ticket) in pending_new.into_iter().zip(tickets) {
+        ready_rel[slot] = ticket.ready_at - now;
+    }
+
+    // 2. Availability order: earliest-ready first (stable on stage order).
+    let mut order: Vec<usize> = (0..ise.stage_count()).collect();
+    order.sort_by_key(|&i| (ready_rel[i], i));
+
+    // 3. Walk the stages computing Eq. 3 / Eq. 2.
+    let e = trigger.expected_executions as f64;
+    let tf = trigger.time_to_first;
+    let tb = trigger.time_between.get() as f64;
+    let risc = ise.risc_latency();
+
+    // NoE_RM: RISC executions before the first stage is ready.
+    let first_ready = order.first().map_or(Cycles::ZERO, |&i| ready_rel[i]);
+    let mut used = 0.0; // executions accounted so far
+    let risc_executions = if first_ready > tf {
+        let window = (first_ready - tf).get() as f64;
+        (window / (risc.get() as f64 + tb)).min(e)
+    } else {
+        0.0
+    };
+    used += risc_executions;
+
+    let stages: &[IseStage] = ise.stages();
+    let mut breakdown_stages = Vec::with_capacity(order.len());
+    let mut cumulative_saving = Cycles::ZERO;
+    for (pos, &si) in order.iter().enumerate() {
+        cumulative_saving += stages[si].saving_per_exec;
+        let latency = risc - cumulative_saving;
+        let rec_i = ready_rel[si];
+        let next_ready = order.get(pos + 1).map(|&j| ready_rel[j]);
+        let executions = match next_ready {
+            // Eq. 3: this intermediate ISE runs from max(recT_i, tf) until
+            // the next one is ready.
+            Some(rec_next) => {
+                let start = rec_i.max(tf);
+                let window = (rec_next - start).get() as f64;
+                (window / (latency.get() as f64 + tb)).max(0.0)
+            }
+            // Final stage: handled below as the fully configured ISE.
+            None => 0.0,
+        };
+        let executions = executions.min((e - used).max(0.0));
+        used += executions;
+        let improvement = executions * (risc - latency).get() as f64;
+        breakdown_stages.push(StageProfit {
+            unit: stages[si].unit,
+            ready_rel: rec_i,
+            latency,
+            executions,
+            improvement,
+        });
+    }
+
+    // Eq. 4: the fully configured ISE takes the remaining executions.
+    let full_latency = ise.full_latency();
+    let full_executions = (e - used).max(0.0);
+    let full_improvement = full_executions * (risc - full_latency).get() as f64;
+    let profit = breakdown_stages
+        .iter()
+        .map(|s| s.improvement)
+        .sum::<f64>()
+        + full_improvement;
+    let reconfig_latency = order.last().map_or(Cycles::ZERO, |&i| ready_rel[i]);
+
+    // The final availability stage *is* the fully configured ISE; record
+    // its executions there for reporting.
+    if let Some(last) = breakdown_stages.last_mut() {
+        last.executions = full_executions;
+        last.improvement = full_improvement;
+    }
+
+    ProfitBreakdown {
+        risc_executions,
+        stages: breakdown_stages,
+        full_executions,
+        full_latency,
+        reconfig_latency,
+        profit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrts_arch::{FabricKind, ReconfigurationController};
+    use mrts_ise::ise::IseStage;
+    use mrts_ise::{IseId, KernelId, TriggerInstruction};
+    use proptest::prelude::*;
+
+    fn stage(unit: u64, fabric: FabricKind, load: u64, saving: u64) -> IseStage {
+        IseStage {
+            unit: UnitId(unit),
+            fabric,
+            load_duration: Cycles::new(load),
+            saving_per_exec: Cycles::new(saving),
+        }
+    }
+
+    /// A two-stage MG ISE: fast CG unit (60-cycle load, saves 400) then a
+    /// slow FG unit (480k load, saves 300); RISC latency 1000.
+    fn mg_ise() -> Ise {
+        Ise::new(
+            IseId(0),
+            KernelId(0),
+            "k[mg]",
+            vec![
+                stage(1, FabricKind::CoarseGrained, 60, 400),
+                stage(2, FabricKind::FineGrained, 480_000, 300),
+            ],
+            Cycles::new(1_000),
+        )
+    }
+
+    fn trigger(e: u64, tf: u64, tb: u64) -> TriggerInstruction {
+        TriggerInstruction::new(KernelId(0), e, Cycles::new(tf), Cycles::new(tb))
+    }
+
+    fn none_resident(_: UnitId) -> bool {
+        false
+    }
+
+    #[test]
+    fn breakdown_matches_hand_computation() {
+        let ise = mg_ise();
+        let rc = ReconfigurationController::new();
+        let tr = trigger(1_000, 500, 200);
+        let b = expected_profit(&ise, &tr, Cycles::ZERO, &rc, &none_resident);
+
+        // CG unit ready at 60 (< tf=500): no RISC executions.
+        assert_eq!(b.risc_executions, 0.0);
+        assert_eq!(b.stages.len(), 2);
+        // Intermediate stage: latency 600, runs from tf=500 until FG ready
+        // at 480 000: (480000-500)/(600+200) = 599.375 executions.
+        let s0 = &b.stages[0];
+        assert_eq!(s0.latency, Cycles::new(600));
+        assert!((s0.executions - 599.375).abs() < 1e-9, "{}", s0.executions);
+        assert!((s0.improvement - 599.375 * 400.0).abs() < 1e-6);
+        // Full ISE: remaining 400.625 executions at saving 700.
+        assert!((b.full_executions - 400.625).abs() < 1e-9);
+        assert_eq!(b.full_latency, Cycles::new(300));
+        let expected = 599.375 * 400.0 + 400.625 * 700.0;
+        assert!((b.profit - expected).abs() < 1e-6, "{}", b.profit);
+        assert_eq!(b.reconfig_latency, Cycles::new(480_000));
+    }
+
+    #[test]
+    fn few_executions_favour_cg_only() {
+        // With only 20 expected executions the FG stage never amortizes:
+        // a CG-only ISE must out-profit the MG one per executed cycle...
+        let cg_only = Ise::new(
+            IseId(1),
+            KernelId(0),
+            "k[cg]",
+            vec![stage(1, FabricKind::CoarseGrained, 60, 400)],
+            Cycles::new(1_000),
+        );
+        let rc = ReconfigurationController::new();
+        let tr = trigger(20, 500, 200);
+        let mg = expected_profit(&mg_ise(), &tr, Cycles::ZERO, &rc, &none_resident);
+        let cg = expected_profit(&cg_only, &tr, Cycles::ZERO, &rc, &none_resident);
+        // All 20 executions complete long before the FG unit arrives, so
+        // both earn the same improvement; the MG ISE is NOT better despite
+        // costing an extra PRC — exactly the paper's Fig. 1 low-count region.
+        assert!(mg.profit <= cg.profit + 1e-9);
+        assert!(cg.full_executions > 19.0);
+    }
+
+    #[test]
+    fn many_executions_favour_bigger_ise() {
+        let cg_only = Ise::new(
+            IseId(1),
+            KernelId(0),
+            "k[cg]",
+            vec![stage(1, FabricKind::CoarseGrained, 60, 400)],
+            Cycles::new(1_000),
+        );
+        let rc = ReconfigurationController::new();
+        let tr = trigger(100_000, 500, 200);
+        let mg = expected_profit(&mg_ise(), &tr, Cycles::ZERO, &rc, &none_resident);
+        let cg = expected_profit(&cg_only, &tr, Cycles::ZERO, &rc, &none_resident);
+        assert!(
+            mg.profit > cg.profit,
+            "high counts amortize the FG load: {} vs {}",
+            mg.profit,
+            cg.profit
+        );
+    }
+
+    #[test]
+    fn resident_units_are_free_and_immediate() {
+        let ise = mg_ise();
+        let rc = ReconfigurationController::new();
+        let tr = trigger(1_000, 500, 200);
+        let all_resident = |_: UnitId| true;
+        let b = expected_profit(&ise, &tr, Cycles::ZERO, &rc, &all_resident);
+        assert_eq!(b.reconfig_latency, Cycles::ZERO);
+        assert_eq!(b.risc_executions, 0.0);
+        // Every execution runs on the full ISE.
+        assert!((b.full_executions - 1_000.0).abs() < 1e-9);
+        assert!((b.profit - 1_000.0 * 700.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn busy_port_delays_profit() {
+        let ise = mg_ise();
+        let tr = trigger(1_000, 500, 200);
+        let idle = ReconfigurationController::new();
+        let mut busy = ReconfigurationController::new();
+        // Another task is streaming a large bitstream on the FG port.
+        busy.request(
+            Cycles::ZERO,
+            LoadRequest {
+                id: 999,
+                fabric: FabricKind::FineGrained,
+                duration: Cycles::new(480_000),
+            },
+        );
+        let free = expected_profit(&ise, &tr, Cycles::ZERO, &idle, &none_resident);
+        let queued = expected_profit(&ise, &tr, Cycles::ZERO, &busy, &none_resident);
+        assert!(queued.reconfig_latency > free.reconfig_latency);
+        assert!(queued.profit < free.profit);
+    }
+
+    #[test]
+    fn in_flight_units_use_their_ticketed_completion() {
+        // The FG unit is already streaming (started earlier): the profit
+        // function must use its real completion time instead of queueing a
+        // duplicate load behind it.
+        let ise = mg_ise();
+        let tr = trigger(1_000, 500, 200);
+        let mut rc = ReconfigurationController::new();
+        let ticket = rc.request(
+            Cycles::ZERO,
+            LoadRequest {
+                id: 2, // the ISE's FG unit
+                fabric: FabricKind::FineGrained,
+                duration: Cycles::new(480_000),
+            },
+        );
+        // Evaluate at t=200_000: the in-flight load finishes at 480_000,
+        // i.e. 280_000 cycles from now — far earlier than a fresh load.
+        let now = Cycles::new(200_000);
+        let b = expected_profit(&ise, &tr, now, &rc, &none_resident);
+        assert_eq!(b.reconfig_latency, ticket.ready_at - now);
+        let fresh = expected_profit(
+            &ise,
+            &tr,
+            now,
+            &ReconfigurationController::new(),
+            &none_resident,
+        );
+        assert!(b.reconfig_latency < fresh.reconfig_latency);
+        assert!(b.profit > fresh.profit);
+    }
+
+    #[test]
+    fn risc_executions_counted_when_first_unit_is_late() {
+        // FG-only ISE: nothing available until 480k cycles.
+        let fg_only = Ise::new(
+            IseId(2),
+            KernelId(0),
+            "k[fg]",
+            vec![stage(2, FabricKind::FineGrained, 480_000, 700)],
+            Cycles::new(1_000),
+        );
+        let rc = ReconfigurationController::new();
+        let tr = trigger(1_000, 500, 200);
+        let b = expected_profit(&fg_only, &tr, Cycles::ZERO, &rc, &none_resident);
+        // (480000-500)/(1000+200) = 399.58 RISC executions.
+        assert!((b.risc_executions - 399.583_333).abs() < 1e-3);
+        assert!((b.full_executions - (1_000.0 - b.risc_executions)).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Profit is bounded by e x max saving and never negative; the
+        /// execution budget is conserved.
+        #[test]
+        fn profit_is_bounded_and_budget_conserved(
+            e in 1u64..50_000,
+            tf in 0u64..10_000,
+            tb in 1u64..2_000,
+        ) {
+            let ise = mg_ise();
+            let rc = ReconfigurationController::new();
+            let tr = trigger(e, tf, tb);
+            let b = expected_profit(&ise, &tr, Cycles::ZERO, &rc, &none_resident);
+            let max_saving = (ise.risc_latency() - ise.full_latency()).get() as f64;
+            prop_assert!(b.profit >= -1e-9);
+            prop_assert!(b.profit <= e as f64 * max_saving + 1e-6);
+            let total = b.risc_executions
+                + b.stages[..b.stages.len() - 1].iter().map(|s| s.executions).sum::<f64>()
+                + b.full_executions;
+            prop_assert!(total <= e as f64 + 1e-6);
+        }
+
+        /// More expected executions never decrease the expected profit.
+        #[test]
+        fn profit_monotone_in_executions(e in 1u64..20_000, delta in 1u64..20_000) {
+            let ise = mg_ise();
+            let rc = ReconfigurationController::new();
+            let lo = expected_profit(&ise, &trigger(e, 500, 200), Cycles::ZERO, &rc, &none_resident);
+            let hi = expected_profit(&ise, &trigger(e + delta, 500, 200), Cycles::ZERO, &rc, &none_resident);
+            prop_assert!(hi.profit >= lo.profit - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! The assembled mRTS run-time system (Fig. 4): Monitoring & Prediction
+//! Unit → ISE selector → reconfiguration hand-off → Execution Control
+//! Unit, packaged as a [`RuntimePolicy`] for the simulator.
+
+use crate::ecu::{self, EcuConfig};
+use crate::mpu::Mpu;
+use crate::selector::SelectorConfig;
+use mrts_arch::{Cycles, FabricKind, Machine, Resources};
+use mrts_ise::{IseId, KernelId, UnitId};
+use mrts_sim::{BlockPlan, ExecContext, ExecPlan, RuntimePolicy, SelectionContext};
+use mrts_workload::KernelActivity;
+
+/// Configuration of the full run-time system. The defaults reproduce the
+/// paper's setup; the flags exist for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrtsConfig {
+    /// Learning rate of the MPU's error back-propagation.
+    pub mpu_alpha: f64,
+    /// Whether the MPU corrects the compile-time forecasts at all.
+    pub use_mpu: bool,
+    /// Selector cost model.
+    pub selector: SelectorConfig,
+    /// ECU behaviour.
+    pub ecu: EcuConfig,
+    /// Section 5.4: after the first per-kernel selection, the remaining
+    /// selection computation overlaps the (already running)
+    /// reconfiguration, so only roughly one kernel's share of the decision
+    /// cost lands on the critical path. Disabled, the full cost is charged
+    /// (used to bound the overhead from above).
+    pub hide_overhead: bool,
+}
+
+impl Default for MrtsConfig {
+    fn default() -> Self {
+        MrtsConfig {
+            mpu_alpha: 0.5,
+            use_mpu: true,
+            selector: SelectorConfig::default(),
+            ecu: EcuConfig::default(),
+            hide_overhead: true,
+        }
+    }
+}
+
+/// Chooses monoCG-Extensions to pre-load with the leftover CG budget after
+/// ISE selection (the Execution Control Unit's bridging, hoisted to block
+/// start: a context program loads in µs, so having it stream right away is
+/// equivalent to the ECU requesting it at the first execution — but it also
+/// works when the selection itself consumed every slot the ECU would have
+/// found free later).
+///
+/// Kernels are served in forecast order: first those left entirely in RISC
+/// mode, then those whose selected ISE has only ms-scale (FG) stages still
+/// outstanding.
+#[must_use]
+pub fn mono_preload_units(
+    catalog: &mrts_ise::IseCatalog,
+    choices: &[(KernelId, Option<IseId>)],
+    leftover_cg: u16,
+    present: &dyn Fn(UnitId) -> bool,
+) -> Vec<UnitId> {
+    let mut budget = leftover_cg;
+    let mut out = Vec::new();
+    let push = |kernel: KernelId, budget: &mut u16, out: &mut Vec<UnitId>| {
+        if *budget == 0 {
+            return;
+        }
+        let Ok(k) = catalog.kernel(kernel) else { return };
+        let Some(mono) = k.mono_cg() else { return };
+        if present(mono.unit) || out.contains(&mono.unit) {
+            return;
+        }
+        out.push(mono.unit);
+        *budget -= 1;
+    };
+    // Pass 1: kernels with no ISE at all.
+    for (kernel, ise) in choices {
+        if ise.is_none() {
+            push(*kernel, &mut budget, &mut out);
+        }
+    }
+    // Pass 2: kernels whose selection still waits on FG loads.
+    for (kernel, ise) in choices {
+        let Some(id) = ise else { continue };
+        let Ok(ise) = catalog.ise(*id) else { continue };
+        let fg_pending = ise.stages().iter().any(|s| {
+            s.fabric == FabricKind::FineGrained && !present(s.unit)
+        });
+        if fg_pending {
+            push(*kernel, &mut budget, &mut out);
+        }
+    }
+    out
+}
+
+/// The mRTS run-time system.
+///
+/// # Example
+///
+/// ```
+/// use mrts_arch::{ArchParams, Machine, Resources};
+/// use mrts_core::Mrts;
+/// use mrts_sim::Simulator;
+/// use mrts_workload::h264::H264Encoder;
+/// use mrts_workload::{TraceBuilder, WorkloadModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let encoder = H264Encoder::new();
+/// let catalog = encoder.application().build_catalog(ArchParams::default(), None)?;
+/// let trace = TraceBuilder::new(&encoder).build();
+/// let machine = Machine::new(ArchParams::default(), Resources::new(2, 2))?;
+/// let stats = Simulator::run(&catalog, machine, &trace, &mut Mrts::new());
+/// assert!(stats.total_busy().get() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mrts {
+    config: MrtsConfig,
+    mpu: Mpu,
+    blocks_planned: u64,
+    total_selection_cycles: u64,
+    total_kernels_selected: u64,
+}
+
+impl Mrts {
+    /// Creates mRTS with the paper's default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Mrts::with_config(MrtsConfig::default())
+    }
+
+    /// Creates mRTS with an explicit configuration (ablations).
+    #[must_use]
+    pub fn with_config(config: MrtsConfig) -> Self {
+        Mrts {
+            mpu: Mpu::new(config.mpu_alpha),
+            config,
+            blocks_planned: 0,
+            total_selection_cycles: 0,
+            total_kernels_selected: 0,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MrtsConfig {
+        &self.config
+    }
+
+    /// Read access to the MPU (tests and diagnostics).
+    #[must_use]
+    pub fn mpu(&self) -> &Mpu {
+        &self.mpu
+    }
+
+    /// Average *computed* selection cost per kernel over the run so far —
+    /// the number the paper quotes as "on average … less than 3000 cycles
+    /// to select an ISE for each kernel" (Section 5.4). This counts the
+    /// full computation, not just the share charged to the timeline.
+    #[must_use]
+    pub fn avg_selection_cycles_per_kernel(&self) -> f64 {
+        if self.total_kernels_selected == 0 {
+            return 0.0;
+        }
+        self.total_selection_cycles as f64 / self.total_kernels_selected as f64
+    }
+
+    /// Units present (resident or streaming) on the machine, with their
+    /// owning kernel and fabric.
+    fn present_units(machine: &Machine) -> Vec<UnitId> {
+        let mut ids: Vec<u64> = machine.fg().resident_ids(Cycles::MAX);
+        ids.extend(machine.cg().resident_ids(Cycles::MAX));
+        ids.sort_unstable();
+        ids.into_iter().map(UnitId::from_loaded_id).collect()
+    }
+}
+
+impl Default for Mrts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimePolicy for Mrts {
+    fn name(&self) -> String {
+        "mRTS".into()
+    }
+
+    fn plan_block(&mut self, ctx: &SelectionContext<'_>) -> BlockPlan {
+        // 1. MPU: correct the compile-time forecast with run-time
+        //    observations.
+        let forecast = if self.config.use_mpu {
+            self.mpu.correct(ctx.forecast)
+        } else {
+            ctx.forecast.clone()
+        };
+
+        // 2. Fabric status: units of kernels outside this block are
+        //    evictable; their slots extend the selector's budget.
+        let forecast_kernels: Vec<KernelId> = forecast.iter().map(|t| t.kernel).collect();
+        let present = Self::present_units(ctx.machine);
+        let evictable: Vec<UnitId> = present
+            .iter()
+            .copied()
+            // Units outside the catalogue belong to other tasks sharing the
+            // fabric: they occupy slots but are not ours to evict.
+            .filter(|u| {
+                ctx.catalog
+                    .unit_checked(*u)
+                    .is_some_and(|unit| !forecast_kernels.contains(&unit.kernel()))
+            })
+            .collect();
+        let evictable_resources: Resources = evictable
+            .iter()
+            .map(|u| ctx.catalog.unit(*u).resources())
+            .sum();
+        let budget = ctx.machine.free_resources() + evictable_resources;
+
+        // 3. The greedy selection (Fig. 6).
+        let machine = ctx.machine;
+        let now = ctx.now;
+        let resident = move |u: UnitId| machine.is_resident(u.as_loaded_id(), now);
+        let use_mono = self.config.ecu.use_mono_cg;
+        let profit = |ise: &mrts_ise::Ise,
+                      trigger: &mrts_ise::TriggerInstruction,
+                      shadow: &mrts_arch::ReconfigurationController| {
+            if ise.is_mono_extension() && !use_mono {
+                return 0.0; // ablation: monoCG disabled entirely
+            }
+            crate::profit::expected_profit(ise, trigger, now, shadow, &resident).profit
+        };
+        let selection = crate::selector::select_ises_with(
+            ctx.catalog,
+            &forecast,
+            budget,
+            &resident,
+            ctx.machine.controller(),
+            ctx.now,
+            &self.config.selector,
+            &profit,
+        );
+
+        // 4. Pre-load monoCG-Extensions with the leftover CG budget (the
+        //    ECU's bridging, see `mono_preload_units`).
+        let mut load_order = selection.load_order;
+        let selection_demand: Resources = load_order
+            .iter()
+            .map(|u| ctx.catalog.unit(*u).resources())
+            .sum();
+        if use_mono {
+            let leftover_cg = budget.cg().saturating_sub(selection_demand.cg());
+            let machine2 = ctx.machine;
+            let present = move |u: UnitId| machine2.is_resident(u.as_loaded_id(), Cycles::MAX);
+            load_order.extend(mono_preload_units(
+                ctx.catalog,
+                &selection.choices,
+                leftover_cg,
+                &present,
+            ));
+        }
+
+        // 5. Evict only what the new loads actually displace.
+        let need: Resources = load_order
+            .iter()
+            .map(|u| ctx.catalog.unit(*u).resources())
+            .sum();
+        let free = ctx.machine.free_resources();
+        let mut cg_short = need.cg().saturating_sub(free.cg());
+        let mut prc_short = need.prc().saturating_sub(free.prc());
+        let mut evict = Vec::new();
+        for u in evictable {
+            if cg_short == 0 && prc_short == 0 {
+                break;
+            }
+            match ctx.catalog.unit(u).fabric() {
+                FabricKind::CoarseGrained if cg_short > 0 => {
+                    evict.push(u);
+                    cg_short -= 1;
+                }
+                FabricKind::FineGrained if prc_short > 0 => {
+                    evict.push(u);
+                    prc_short -= 1;
+                }
+                _ => {}
+            }
+        }
+
+        // 6. Overhead accounting (Section 5.4): the computation after the
+        //    first per-kernel selection overlaps the reconfiguration it
+        //    already launched.
+        let computed = selection.overhead_cycles;
+        let kernels = forecast.kernel_count().max(1) as u64;
+        let charged = if self.config.hide_overhead && self.blocks_planned > 0 {
+            Cycles::new(computed.get() / kernels)
+        } else {
+            computed
+        };
+        self.blocks_planned += 1;
+        self.total_selection_cycles += computed.get();
+        self.total_kernels_selected += kernels;
+
+        BlockPlan {
+            selections: selection.choices,
+            evict,
+            load_order,
+            overhead: charged,
+        }
+    }
+
+    fn plan_execution(
+        &mut self,
+        kernel: KernelId,
+        selected: Option<IseId>,
+        ctx: &ExecContext<'_>,
+    ) -> ExecPlan {
+        let Ok(k) = ctx.catalog.kernel(kernel) else {
+            return ExecPlan::risc();
+        };
+        let selected_ise = selected.and_then(|id| ctx.catalog.ise(id).ok());
+        let machine = ctx.machine;
+        let now = ctx.now;
+        let resident = move |u: UnitId| machine.is_resident(u.as_loaded_id(), now);
+        let cg_free = ctx.machine.free_resources().cg() > 0;
+        ecu::decide(k, selected_ise, &resident, cg_free, &self.config.ecu).plan
+    }
+
+    fn observe_block_end(&mut self, _block: mrts_ise::BlockId, observed: &[KernelActivity]) {
+        if self.config.use_mpu {
+            self.mpu.observe(observed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrts_arch::ArchParams;
+    use mrts_sim::{ExecClass, RiscOnlyPolicy, Simulator};
+    use mrts_workload::h264::H264Encoder;
+    use mrts_workload::synthetic::{synthetic_trace, Pattern, ToyApp};
+    use mrts_workload::{TraceBuilder, WorkloadModel};
+
+    fn machine(cg: u16, prc: u16) -> Machine {
+        Machine::new(ArchParams::default(), Resources::new(cg, prc)).unwrap()
+    }
+
+    #[test]
+    fn mrts_beats_risc_on_toy_app() {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(2_000)], 6);
+        let mrts = Simulator::run(&catalog, machine(2, 2), &trace, &mut Mrts::new());
+        let risc = Simulator::run(&catalog, machine(2, 2), &trace, &mut RiscOnlyPolicy::new());
+        assert!(
+            mrts.total_execution_time() < risc.total_execution_time(),
+            "mRTS {} vs RISC {}",
+            mrts.total_execution_time(),
+            risc.total_execution_time()
+        );
+        // Accelerated executions dominate.
+        let h = mrts.class_histogram();
+        let accel = h.get(&ExecClass::FullIse).copied().unwrap_or(0)
+            + h.get(&ExecClass::IntermediateIse).copied().unwrap_or(0)
+            + h.get(&ExecClass::MonoCg).copied().unwrap_or(0);
+        assert!(accel > 10_000, "{h:?}");
+    }
+
+    #[test]
+    fn mrts_single_prc_machine_still_works() {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(5_000)], 4);
+        let mrts = Simulator::run(&catalog, machine(0, 1), &trace, &mut Mrts::new());
+        let risc = Simulator::run(&catalog, machine(0, 1), &trace, &mut RiscOnlyPolicy::new());
+        assert!(mrts.total_execution_time() < risc.total_execution_time());
+        assert_eq!(mrts.rejected_loads, 0);
+    }
+
+    #[test]
+    fn mono_cg_used_on_cg_only_machine() {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(2_000)], 4);
+        let stats = Simulator::run(&catalog, machine(1, 0), &trace, &mut Mrts::new());
+        let h = stats.class_histogram();
+        // With a single CG-EDPE either a CG-ISE or the monoCG path must
+        // carry most executions.
+        let accelerated: u64 = h
+            .iter()
+            .filter(|(c, _)| **c != ExecClass::RiscMode)
+            .map(|(_, n)| *n)
+            .sum();
+        assert!(accelerated > 6_000, "{h:?}");
+    }
+
+    #[test]
+    fn mpu_learns_the_real_counts() {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        // Forecast (mean) is ~5_500 but the series alternates 1_000/10_000.
+        let trace = synthetic_trace(
+            &toy,
+            &[Pattern::Burst {
+                low: 1_000,
+                high: 10_000,
+                period: 2,
+            }],
+            8,
+        );
+        let mut mrts = Mrts::new();
+        let _ = Simulator::run(&catalog, machine(2, 2), &trace, &mut mrts);
+        assert_eq!(mrts.mpu().tracked_kernels(), 1);
+        assert!(mrts.mpu().estimate(mrts_ise::KernelId(0)).is_some());
+    }
+
+    #[test]
+    fn overhead_is_small_fraction_on_h264() {
+        let enc = H264Encoder::new();
+        let catalog = enc
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = TraceBuilder::new(&enc).build();
+        let mut mrts = Mrts::new();
+        let stats = Simulator::run(&catalog, machine(2, 2), &trace, &mut mrts);
+        // Paper Section 5.4: ~1.9% overhead, <3000 cycles per kernel.
+        assert!(
+            stats.overhead_fraction() < 0.05,
+            "overhead fraction {}",
+            stats.overhead_fraction()
+        );
+        let per_kernel = mrts.avg_selection_cycles_per_kernel();
+        assert!(
+            per_kernel < 3_000.0,
+            "selection cost per kernel {per_kernel}"
+        );
+        assert!(per_kernel > 100.0);
+    }
+
+    #[test]
+    fn eviction_reclaims_foreign_units() {
+        // Two-kernel toy: after block for kernel A, planning a block for
+        // kernel B on a tiny machine must evict A's units.
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(3_000)], 3);
+        // Machine with a single PRC and single EDPE: every block must fit
+        // in two slots, so plans keep evicting and reloading as needed.
+        let stats = Simulator::run(&catalog, machine(1, 1), &trace, &mut Mrts::new());
+        assert_eq!(stats.rejected_loads, 0, "eviction must make room");
+    }
+
+    #[test]
+    fn disabled_mpu_uses_static_forecast() {
+        let cfg = MrtsConfig {
+            use_mpu: false,
+            ..MrtsConfig::default()
+        };
+        let mut mrts = Mrts::with_config(cfg);
+        assert_eq!(mrts.name(), "mRTS");
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(1_000)], 3);
+        let _ = Simulator::run(&catalog, machine(1, 1), &trace, &mut mrts);
+        assert_eq!(mrts.mpu().tracked_kernels(), 0);
+    }
+}

@@ -1,0 +1,478 @@
+//! The ISE selection algorithm — the greedy heuristic of the paper's
+//! Fig. 6.
+//!
+//! *"Step-1: Make a candidate list of the ISEs of all kernels in the TIs.
+//! Step-2: Remove ISEs from the candidate list that (a) require more
+//! reconfigurable fabric than available, and (b) are covered by data paths
+//! that are available from the already selected ISEs. Step-3: Compute the
+//! profit of each ISE in the candidate list and then select the ISE with
+//! the maximum profit. Step-4: Add the selected ISE to the output set,
+//! update the reconfigurable hardware status, and remove all other ISEs of
+//! the same kernel from the candidate list."*
+//!
+//! The ISE with the maximum profit is selected first and obtains the
+//! resources; once a kernel has a selection it is final even if another
+//! combination would yield a better overall profit — this is what reduces
+//! the optimal algorithm's O(Mᴺ) to O(N·M) at a quality loss the paper
+//! quantifies in Fig. 9 (and we reproduce in the `fig9` bench).
+
+use crate::profit::expected_profit;
+use mrts_arch::{Cycles, LoadRequest, ReconfigurationController, Resources};
+use mrts_ise::{Ise, IseCatalog, IseId, KernelId, TriggerBlock, UnitId};
+use std::collections::HashSet;
+
+/// Cost model of the selector itself (drives the Section 5.4 overhead
+/// accounting). Defaults are calibrated so a typical functional block
+/// lands near the paper's "less than 3000 cycles to select an ISE for each
+/// kernel".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectorConfig {
+    /// Fixed decision cycles per forecast kernel (candidate-list
+    /// management, hardware-status updates).
+    pub base_cycles_per_kernel: u64,
+    /// Cycles per profit-function evaluation.
+    pub cycles_per_candidate: u64,
+    /// Restrict the candidate list to each kernel's Pareto front in the
+    /// (resources, execution latency, load time) space
+    /// ([`IseCatalog::pareto_ises_of`]). Dominated variants can never win,
+    /// so this trades a one-time compile-time analysis for fewer run-time
+    /// profit evaluations. Off by default to match the paper's Fig. 6
+    /// candidate list exactly.
+    pub prune_dominated: bool,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        SelectorConfig {
+            base_cycles_per_kernel: 300,
+            cycles_per_candidate: 75,
+            prune_dominated: false,
+        }
+    }
+}
+
+/// One committed selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectedIse {
+    /// The kernel the selection is for.
+    pub kernel: KernelId,
+    /// The chosen ISE.
+    pub ise: IseId,
+    /// Its expected profit at selection time (Eq. 4).
+    pub profit: f64,
+    /// The units that must actually be loaded (not already resident or
+    /// streaming), in stage order.
+    pub new_units: Vec<UnitId>,
+}
+
+/// The selector's complete answer for one trigger block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// One entry per forecast kernel (`None` = stay in RISC mode /
+    /// monoCG).
+    pub choices: Vec<(KernelId, Option<IseId>)>,
+    /// The committed selections in selection order (max-profit first).
+    pub selected: Vec<SelectedIse>,
+    /// All new units in the order they should be streamed.
+    pub load_order: Vec<UnitId>,
+    /// Total expected profit of the selected set (the objective of Eq. 5).
+    pub total_profit: f64,
+    /// Number of profit-function evaluations performed.
+    pub candidates_evaluated: u64,
+    /// Modeled computation cost of this selection run (Section 5.4).
+    pub overhead_cycles: Cycles,
+}
+
+/// Runs the greedy ISE selection for one trigger block.
+///
+/// * `budget` — the reconfigurable fabric at the selector's disposal
+///   (free fabric plus whatever the caller is willing to evict).
+/// * `resident` — units already usable (previous selections, shared data
+///   paths); they cost nothing and deliver their savings immediately.
+/// * `controller` — the reconfiguration controller, used to predict
+///   completion times (including loads already streaming).
+#[must_use]
+pub fn select_ises(
+    catalog: &IseCatalog,
+    forecast: &TriggerBlock,
+    budget: Resources,
+    resident: &dyn Fn(UnitId) -> bool,
+    controller: &ReconfigurationController,
+    now: Cycles,
+    config: &SelectorConfig,
+) -> Selection {
+    let profit = |ise: &Ise,
+                  trigger: &mrts_ise::TriggerInstruction,
+                  shadow: &ReconfigurationController| {
+        expected_profit(ise, trigger, now, shadow, resident).profit
+    };
+    select_ises_with(catalog, forecast, budget, resident, controller, now, config, &profit)
+}
+
+/// [`select_ises`] with a custom profit evaluator — the hook the
+/// RISPP-like baseline uses to plug in its FG-tuned cost function while
+/// reusing the identical greedy loop.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn select_ises_with(
+    catalog: &IseCatalog,
+    forecast: &TriggerBlock,
+    budget: Resources,
+    resident: &dyn Fn(UnitId) -> bool,
+    controller: &ReconfigurationController,
+    now: Cycles,
+    config: &SelectorConfig,
+    profit: &dyn Fn(&Ise, &mrts_ise::TriggerInstruction, &ReconfigurationController) -> f64,
+) -> Selection {
+    // Step 1: candidate list of all ISEs of all forecast kernels
+    // (optionally restricted to the Pareto-efficient variants).
+    let mut candidates: Vec<&Ise> = if config.prune_dominated {
+        forecast
+            .iter()
+            .flat_map(|t| catalog.pareto_ises_of(t.kernel))
+            .map(|id| catalog.ise(id).expect("catalogue ids are dense"))
+            .collect()
+    } else {
+        forecast
+            .iter()
+            .flat_map(|t| catalog.ises_of(t.kernel))
+            .map(|id| catalog.ise(*id).expect("catalogue ids are dense"))
+            .collect()
+    };
+
+    let mut shadow = controller.clone();
+    let mut remaining = budget;
+    let mut selected_kernels: HashSet<KernelId> = HashSet::new();
+    let mut selected = Vec::new();
+    let mut load_order = Vec::new();
+    let mut evaluated = 0u64;
+
+    loop {
+        // Step 2: prune non-fitting candidates (resident/streaming units
+        // are free, so only genuinely new units count against the budget),
+        // and candidates of already-served kernels (step 4's removal).
+        candidates.retain(|ise| {
+            !selected_kernels.contains(&ise.kernel())
+                && new_demand(ise, resident, &shadow).fits_in(remaining)
+        });
+        if candidates.is_empty() {
+            break;
+        }
+
+        // Step 3: profit of every remaining candidate under the current
+        // hardware status (units planned for earlier selections are already
+        // queued in the shadow controller, so sharing is accounted for).
+        let mut best: Option<(usize, f64)> = None;
+        for (i, ise) in candidates.iter().enumerate() {
+            let trigger = forecast
+                .trigger_for(ise.kernel())
+                .expect("candidate kernels come from the forecast");
+            let p = profit(ise, trigger, &shadow);
+            evaluated += 1;
+            if p <= 0.0 {
+                continue; // an unprofitable ISE is never worth its fabric
+            }
+            let better = match best {
+                None => true,
+                Some((bi, bp)) => {
+                    p > bp + f64::EPSILON
+                        || ((p - bp).abs() <= f64::EPSILON && ise.id() < candidates[bi].id())
+                }
+            };
+            if better {
+                best = Some((i, p));
+            }
+        }
+        let Some((best_idx, best_profit)) = best else {
+            break; // nothing profitable remains
+        };
+        let ise = candidates[best_idx];
+
+        // Step 4: commit — update hardware status, stream the new units.
+        let new_units: Vec<UnitId> = ise
+            .stages()
+            .iter()
+            .filter(|s| {
+                !resident(s.unit) && shadow.pending_ready_time(s.unit.as_loaded_id()).is_none()
+            })
+            .map(|s| s.unit)
+            .collect();
+        for stage in ise.stages() {
+            if new_units.contains(&stage.unit) {
+                shadow.request(
+                    now,
+                    LoadRequest {
+                        id: stage.unit.as_loaded_id(),
+                        fabric: stage.fabric,
+                        duration: stage.load_duration,
+                    },
+                );
+            }
+        }
+        let demand: Resources = new_units
+            .iter()
+            .map(|u| catalog.unit(*u).resources())
+            .sum();
+        remaining = remaining.saturating_sub(demand);
+        selected_kernels.insert(ise.kernel());
+        load_order.extend(new_units.iter().copied());
+        selected.push(SelectedIse {
+            kernel: ise.kernel(),
+            ise: ise.id(),
+            profit: best_profit,
+            new_units,
+        });
+    }
+
+    let choices = forecast
+        .iter()
+        .map(|t| {
+            let ise = selected
+                .iter()
+                .find(|s| s.kernel == t.kernel)
+                .map(|s| s.ise);
+            (t.kernel, ise)
+        })
+        .collect();
+    let total_profit = selected.iter().map(|s| s.profit).sum();
+    let overhead_cycles = Cycles::new(
+        config.base_cycles_per_kernel * forecast.kernel_count() as u64
+            + config.cycles_per_candidate * evaluated,
+    );
+    Selection {
+        choices,
+        selected,
+        load_order,
+        total_profit,
+        candidates_evaluated: evaluated,
+        overhead_cycles,
+    }
+}
+
+/// Resources a candidate still needs: units neither resident nor already
+/// streaming.
+fn new_demand(
+    ise: &Ise,
+    resident: &dyn Fn(UnitId) -> bool,
+    controller: &ReconfigurationController,
+) -> Resources {
+    ise.stages()
+        .iter()
+        .filter(|s| {
+            !resident(s.unit) && controller.pending_ready_time(s.unit.as_loaded_id()).is_none()
+        })
+        .map(|s| match s.fabric {
+            mrts_arch::FabricKind::FineGrained => Resources::prc_only(1),
+            mrts_arch::FabricKind::CoarseGrained => Resources::cg_only(1),
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrts_arch::ArchParams;
+    use mrts_ise::datapath::{DataPathGraph, OpKind};
+    use mrts_ise::{CatalogBuilder, KernelSpec, TriggerInstruction};
+
+    fn word_graph(name: &str) -> DataPathGraph {
+        let mut b = DataPathGraph::builder(name);
+        let x = b.input();
+        let y = b.input();
+        let s = b.op(OpKind::Add, &[x, y]);
+        let m = b.op(OpKind::Mul, &[s, y]);
+        let _ = b.op(OpKind::Max, &[m, x]);
+        b.finish().unwrap()
+    }
+
+    fn bit_graph(name: &str) -> DataPathGraph {
+        let mut b = DataPathGraph::builder(name);
+        let x = b.input();
+        let s = b.op(OpKind::BitShuffle, &[x, x]);
+        let e = b.op(OpKind::BitExtract, &[s]);
+        let _ = b.op(OpKind::Cmp, &[e, x]);
+        b.finish().unwrap()
+    }
+
+    fn catalog() -> IseCatalog {
+        CatalogBuilder::new(ArchParams::default())
+            .kernel(
+                KernelSpec::new("deblock")
+                    .data_path(bit_graph("cond"), 16)
+                    .data_path(word_graph("filt"), 16)
+                    .overhead_cycles(120),
+            )
+            .kernel(
+                KernelSpec::new("sad")
+                    .data_path(word_graph("sad16"), 64)
+                    .overhead_cycles(80),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn forecast(catalog: &IseCatalog, e0: u64, e1: u64) -> TriggerBlock {
+        let _ = catalog;
+        TriggerBlock::new(
+            mrts_ise::BlockId(0),
+            vec![
+                TriggerInstruction::new(KernelId(0), e0, Cycles::new(1_000), Cycles::new(350)),
+                TriggerInstruction::new(KernelId(1), e1, Cycles::new(3_000), Cycles::new(150)),
+            ],
+        )
+    }
+
+    fn none_resident(_: UnitId) -> bool {
+        false
+    }
+
+    fn run(c: &IseCatalog, f: &TriggerBlock, budget: Resources) -> Selection {
+        select_ises(
+            c,
+            f,
+            budget,
+            &none_resident,
+            &ReconfigurationController::new(),
+            Cycles::ZERO,
+            &SelectorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn one_ise_per_kernel_and_budget_respected() {
+        let c = catalog();
+        let f = forecast(&c, 3_000, 20_000);
+        for budget in [
+            Resources::new(0, 0),
+            Resources::new(1, 0),
+            Resources::new(0, 2),
+            Resources::new(2, 2),
+            Resources::new(4, 4),
+        ] {
+            let s = run(&c, &f, budget);
+            // At most one selection per kernel.
+            assert!(s.selected.len() <= 2);
+            let mut kernels: Vec<KernelId> = s.selected.iter().map(|x| x.kernel).collect();
+            kernels.dedup();
+            assert_eq!(kernels.len(), s.selected.len());
+            // Total demand of new units fits the budget.
+            let demand: Resources = s
+                .load_order
+                .iter()
+                .map(|u| c.unit(*u).resources())
+                .sum();
+            assert!(demand.fits_in(budget), "{demand} vs {budget}");
+            // Choices cover every forecast kernel.
+            assert_eq!(s.choices.len(), 2);
+        }
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let c = catalog();
+        let s = run(&c, &forecast(&c, 3_000, 20_000), Resources::NONE);
+        assert!(s.selected.is_empty());
+        assert!(s.load_order.is_empty());
+        assert_eq!(s.total_profit, 0.0);
+        // Still pays the per-kernel bookkeeping cost.
+        assert!(s.overhead_cycles > Cycles::ZERO);
+    }
+
+    #[test]
+    fn highest_profit_kernel_served_first() {
+        let c = catalog();
+        // sad has far more executions: it should be selected first.
+        let s = run(&c, &forecast(&c, 300, 50_000), Resources::new(2, 2));
+        assert!(!s.selected.is_empty());
+        assert_eq!(s.selected[0].kernel, KernelId(1), "{:?}", s.selected);
+        assert!(s.total_profit > 0.0);
+    }
+
+    #[test]
+    fn resident_units_make_candidates_cheaper() {
+        let c = catalog();
+        let f = forecast(&c, 3_000, 20_000);
+        // Find some unit of a deblock ISE and mark it resident.
+        let deblock_unit = c
+            .ises_of(KernelId(0))
+            .iter()
+            .map(|i| c.ise(*i).unwrap())
+            .flat_map(|i| i.unit_ids().collect::<Vec<_>>())
+            .next()
+            .unwrap();
+        let resident = move |u: UnitId| u == deblock_unit;
+        let tight = Resources::new(1, 1);
+        let with = select_ises(
+            &c,
+            &f,
+            tight,
+            &resident,
+            &ReconfigurationController::new(),
+            Cycles::ZERO,
+            &SelectorConfig::default(),
+        );
+        let without = run(&c, &f, tight);
+        // The resident unit widens what fits, so profit cannot drop.
+        assert!(with.total_profit >= without.total_profit - 1e-6);
+    }
+
+    #[test]
+    fn overhead_scales_with_candidates() {
+        let c = catalog();
+        let f1 = TriggerBlock::new(
+            mrts_ise::BlockId(0),
+            vec![TriggerInstruction::new(
+                KernelId(0),
+                1_000,
+                Cycles::new(500),
+                Cycles::new(300),
+            )],
+        );
+        let f2 = forecast(&c, 1_000, 1_000);
+        let s1 = run(&c, &f1, Resources::new(4, 4));
+        let s2 = run(&c, &f2, Resources::new(4, 4));
+        assert!(s2.candidates_evaluated > s1.candidates_evaluated);
+        assert!(s2.overhead_cycles > s1.overhead_cycles);
+    }
+
+    #[test]
+    fn dominance_pruning_cuts_evaluations_without_losing_quality() {
+        let c = catalog();
+        let f = forecast(&c, 3_000, 20_000);
+        let budget = Resources::new(3, 3);
+        let full = run(&c, &f, budget);
+        let pruned = select_ises(
+            &c,
+            &f,
+            budget,
+            &none_resident,
+            &ReconfigurationController::new(),
+            Cycles::ZERO,
+            &SelectorConfig {
+                prune_dominated: true,
+                ..SelectorConfig::default()
+            },
+        );
+        assert!(
+            pruned.candidates_evaluated < full.candidates_evaluated,
+            "pruning must reduce work: {} vs {}",
+            pruned.candidates_evaluated,
+            full.candidates_evaluated
+        );
+        assert!(
+            pruned.total_profit >= full.total_profit * 0.98,
+            "pruned {} vs full {}",
+            pruned.total_profit,
+            full.total_profit
+        );
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let c = catalog();
+        let f = forecast(&c, 3_000, 20_000);
+        let a = run(&c, &f, Resources::new(2, 3));
+        let b = run(&c, &f, Resources::new(2, 3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for ISE-model construction.
+
+use crate::ids::{GraphId, IseId, KernelId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building data paths, kernels or catalogues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IseError {
+    /// A data-path graph is malformed (detail in the message).
+    InvalidGraph(String),
+    /// A graph node referenced an operand that does not exist (yet).
+    DanglingOperand {
+        /// The graph being built.
+        graph: String,
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// An operation received the wrong number of operands.
+    BadArity {
+        /// The graph being built.
+        graph: String,
+        /// The operation's name.
+        op: &'static str,
+        /// Expected operand count.
+        expected: usize,
+        /// Provided operand count.
+        got: usize,
+    },
+    /// A kernel was declared without any data path.
+    EmptyKernel(String),
+    /// A catalogue lookup used an unknown kernel id.
+    UnknownKernel(KernelId),
+    /// A catalogue lookup used an unknown ISE id.
+    UnknownIse(IseId),
+    /// A catalogue lookup used an unknown graph id.
+    UnknownGraph(GraphId),
+    /// The catalogue was built without any kernels.
+    EmptyCatalog,
+    /// A data path cannot be implemented on the requested fabric (e.g. it
+    /// exceeds the context-memory capacity even after splitting).
+    Unmappable {
+        /// The graph's name.
+        graph: String,
+        /// Why the mapping failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IseError::InvalidGraph(msg) => write!(f, "invalid data-path graph: {msg}"),
+            IseError::DanglingOperand { graph, node } => {
+                write!(f, "graph '{graph}': node {node} references a missing operand")
+            }
+            IseError::BadArity {
+                graph,
+                op,
+                expected,
+                got,
+            } => write!(
+                f,
+                "graph '{graph}': operation {op} expects {expected} operands, got {got}"
+            ),
+            IseError::EmptyKernel(name) => {
+                write!(f, "kernel '{name}' declares no data paths")
+            }
+            IseError::UnknownKernel(k) => write!(f, "unknown kernel {k}"),
+            IseError::UnknownIse(i) => write!(f, "unknown ISE {i}"),
+            IseError::UnknownGraph(g) => write!(f, "unknown data-path graph {g}"),
+            IseError::EmptyCatalog => write!(f, "catalogue contains no kernels"),
+            IseError::Unmappable { graph, reason } => {
+                write!(f, "data path '{graph}' cannot be mapped: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for IseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IseError>();
+    }
+
+    #[test]
+    fn messages_are_informative() {
+        let e = IseError::BadArity {
+            graph: "sad".into(),
+            op: "Add",
+            expected: 2,
+            got: 1,
+        };
+        assert!(e.to_string().contains("Add"));
+        assert!(e.to_string().contains("expects 2"));
+    }
+}

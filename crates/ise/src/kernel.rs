@@ -1,0 +1,223 @@
+//! Kernels — the compute-intensive loops the ISEs accelerate — and their
+//! monoCG-Extensions.
+
+use crate::datapath::DataPathGraph;
+use crate::ids::{KernelId, UnitId};
+use mrts_arch::Cycles;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One data path of a kernel together with its invocation multiplicity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPathSpec {
+    /// The operator graph.
+    pub graph: DataPathGraph,
+    /// How many times the data path is invoked per kernel execution
+    /// (e.g. the H.264 filter data path runs once per edge, 16+ times per
+    /// macroblock-level kernel execution).
+    pub calls_per_exec: u32,
+}
+
+/// Input description of one kernel, consumed by the catalogue builder.
+///
+/// # Example
+///
+/// ```
+/// use mrts_ise::datapath::{DataPathGraph, OpKind};
+/// use mrts_ise::kernel::KernelSpec;
+///
+/// # fn main() -> Result<(), mrts_ise::IseError> {
+/// let mut b = DataPathGraph::builder("dct_butterfly");
+/// let x = b.input();
+/// let y = b.input();
+/// let s = b.op(OpKind::Add, &[x, y]);
+/// let _d = b.op(OpKind::Sub, &[x, y]);
+/// let g = b.finish()?;
+///
+/// let spec = KernelSpec::new("dct").data_path(g, 32).overhead_cycles(200);
+/// assert_eq!(spec.name(), "dct");
+/// # let _ = s;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    name: String,
+    data_paths: Vec<DataPathSpec>,
+    overhead_cycles: u64,
+}
+
+impl KernelSpec {
+    /// Starts a kernel description.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelSpec {
+            name: name.into(),
+            data_paths: Vec::new(),
+            overhead_cycles: 50,
+        }
+    }
+
+    /// Adds a data path invoked `calls_per_exec` times per kernel execution.
+    #[must_use]
+    pub fn data_path(mut self, graph: DataPathGraph, calls_per_exec: u32) -> Self {
+        self.data_paths.push(DataPathSpec {
+            graph,
+            calls_per_exec,
+        });
+        self
+    }
+
+    /// Sets the irreducible per-execution control overhead (loop setup,
+    /// address generation, branches) that no ISE can remove. Defaults to 50
+    /// cycles.
+    #[must_use]
+    pub fn overhead_cycles(mut self, cycles: u64) -> Self {
+        self.overhead_cycles = cycles;
+        self
+    }
+
+    /// The kernel's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared data paths.
+    #[must_use]
+    pub fn data_paths(&self) -> &[DataPathSpec] {
+        &self.data_paths
+    }
+
+    /// The irreducible overhead.
+    #[must_use]
+    pub fn overhead(&self) -> u64 {
+        self.overhead_cycles
+    }
+}
+
+/// A whole kernel compiled onto **one** CG-EDPE.
+///
+/// The monoCG-Extension (Section 4.2) bridges the ms-scale gap before the
+/// first FG data path arrives: it loads in µs and is *"still faster than a
+/// RISC-mode execution"*, though slower than a real ISE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonoCgExtension {
+    /// The load unit tracking this extension's fabric occupancy.
+    pub unit: UnitId,
+    /// Context-program length in instructions.
+    pub instrs: u16,
+    /// Kernel latency when executed through the extension (core cycles).
+    pub latency: Cycles,
+    /// Load duration of the context program.
+    pub load_duration: Cycles,
+}
+
+/// A kernel as stored in the built catalogue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    id: KernelId,
+    name: String,
+    risc_latency: Cycles,
+    data_paths: Vec<DataPathSpec>,
+    mono_cg: Option<MonoCgExtension>,
+}
+
+impl Kernel {
+    /// Creates a kernel record (normally done by the catalogue builder).
+    #[must_use]
+    pub fn new(
+        id: KernelId,
+        name: impl Into<String>,
+        risc_latency: Cycles,
+        data_paths: Vec<DataPathSpec>,
+        mono_cg: Option<MonoCgExtension>,
+    ) -> Self {
+        Kernel {
+            id,
+            name: name.into(),
+            risc_latency,
+            data_paths,
+            mono_cg,
+        }
+    }
+
+    /// The kernel's identifier.
+    #[must_use]
+    pub fn id(&self) -> KernelId {
+        self.id
+    }
+
+    /// The kernel's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Latency of one execution in RISC mode (`latency_RM` in Eq. 2),
+    /// i.e. using only the core's basic instruction set.
+    #[must_use]
+    pub fn risc_latency(&self) -> Cycles {
+        self.risc_latency
+    }
+
+    /// The kernel's data paths.
+    #[must_use]
+    pub fn data_paths(&self) -> &[DataPathSpec] {
+        &self.data_paths
+    }
+
+    /// The kernel's monoCG-Extension, if one could be generated (it is
+    /// omitted when even a dedicated EDPE cannot beat RISC-mode).
+    #[must_use]
+    pub fn mono_cg(&self) -> Option<&MonoCgExtension> {
+        self.mono_cg.as_ref()
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} '{}' (RISC {} , {} data paths)",
+            self.id,
+            self.name,
+            self.risc_latency,
+            self.data_paths.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::OpKind;
+
+    fn graph() -> DataPathGraph {
+        let mut b = DataPathGraph::builder("g");
+        let a = b.input();
+        let _ = b.op(OpKind::Abs, &[a]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn spec_builder_accumulates() {
+        let spec = KernelSpec::new("k")
+            .data_path(graph(), 4)
+            .data_path(graph(), 8)
+            .overhead_cycles(99);
+        assert_eq!(spec.data_paths().len(), 2);
+        assert_eq!(spec.data_paths()[1].calls_per_exec, 8);
+        assert_eq!(spec.overhead(), 99);
+    }
+
+    #[test]
+    fn kernel_accessors() {
+        let k = Kernel::new(KernelId(3), "dct", Cycles::new(1_000), vec![], None);
+        assert_eq!(k.id(), KernelId(3));
+        assert_eq!(k.name(), "dct");
+        assert_eq!(k.risc_latency(), Cycles::new(1_000));
+        assert!(k.mono_cg().is_none());
+        assert!(k.to_string().contains("dct"));
+    }
+}

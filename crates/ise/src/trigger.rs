@@ -1,0 +1,166 @@
+//! Trigger instructions — the forecasts that activate the ISE selector.
+//!
+//! *"The application programmer embeds so-called Trigger Instructions into
+//! the application binary … to forecast the kernel executions in the
+//! upcoming functional block. These trigger instructions contain the IDs of
+//! the requested kernels, their corresponding expected/estimated number of
+//! executions, and the average time between two consecutive kernel
+//! executions."* (Section 4)
+//!
+//! A trigger instruction is the 4-tuple `{Kᵢ, eᵢ, tfᵢ, tbᵢ}` of Section 4.1.
+
+use crate::ids::{BlockId, KernelId};
+use mrts_arch::Cycles;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The `{Kᵢ, eᵢ, tfᵢ, tbᵢ}` forecast for one kernel of the upcoming
+/// functional block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriggerInstruction {
+    /// `Kᵢ` — the forecast kernel.
+    pub kernel: KernelId,
+    /// `eᵢ` — expected number of executions within the functional block.
+    pub expected_executions: u64,
+    /// `tfᵢ` — time from the trigger instruction until the first execution.
+    pub time_to_first: Cycles,
+    /// `tbᵢ` — average time between two consecutive executions
+    /// (the *gap* between executions, excluding the execution itself).
+    pub time_between: Cycles,
+}
+
+impl TriggerInstruction {
+    /// Creates a forecast tuple.
+    #[must_use]
+    pub fn new(
+        kernel: KernelId,
+        expected_executions: u64,
+        time_to_first: Cycles,
+        time_between: Cycles,
+    ) -> Self {
+        TriggerInstruction {
+            kernel,
+            expected_executions,
+            time_to_first,
+            time_between,
+        }
+    }
+
+    /// Returns a copy with a different execution forecast (used by the MPU
+    /// when it corrects the compile-time estimate at run time).
+    #[must_use]
+    pub fn with_executions(mut self, e: u64) -> Self {
+        self.expected_executions = e;
+        self
+    }
+
+    /// Returns a copy with a different inter-execution gap.
+    #[must_use]
+    pub fn with_time_between(mut self, tb: Cycles) -> Self {
+        self.time_between = tb;
+        self
+    }
+}
+
+impl fmt::Display for TriggerInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TI{{{}, e={}, tf={}, tb={}}}",
+            self.kernel, self.expected_executions, self.time_to_first, self.time_between
+        )
+    }
+}
+
+/// The full set of trigger instructions announcing one functional block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriggerBlock {
+    /// Which functional block is being announced.
+    pub block: BlockId,
+    /// One forecast per kernel of the block.
+    pub triggers: Vec<TriggerInstruction>,
+}
+
+impl TriggerBlock {
+    /// Creates a trigger block.
+    #[must_use]
+    pub fn new(block: BlockId, triggers: Vec<TriggerInstruction>) -> Self {
+        TriggerBlock { block, triggers }
+    }
+
+    /// Number of forecast kernels (`N` in the heuristic's complexity
+    /// analysis).
+    #[must_use]
+    pub fn kernel_count(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// The forecast for a specific kernel, if present.
+    #[must_use]
+    pub fn trigger_for(&self, kernel: KernelId) -> Option<&TriggerInstruction> {
+        self.triggers.iter().find(|t| t.kernel == kernel)
+    }
+
+    /// Iterates over the forecasts.
+    pub fn iter(&self) -> impl Iterator<Item = &TriggerInstruction> {
+        self.triggers.iter()
+    }
+}
+
+impl fmt::Display for TriggerBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.block)?;
+        for (i, t) in self.triggers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_round_trip() {
+        let ti = TriggerInstruction::new(
+            KernelId(2),
+            4_000,
+            Cycles::new(1_000),
+            Cycles::new(250),
+        );
+        assert_eq!(ti.kernel, KernelId(2));
+        assert_eq!(ti.expected_executions, 4_000);
+        assert_eq!(ti.with_executions(9).expected_executions, 9);
+        assert_eq!(
+            ti.with_time_between(Cycles::new(7)).time_between,
+            Cycles::new(7)
+        );
+    }
+
+    #[test]
+    fn block_lookup() {
+        let tb = TriggerBlock::new(
+            BlockId(1),
+            vec![
+                TriggerInstruction::new(KernelId(0), 10, Cycles::ZERO, Cycles::ZERO),
+                TriggerInstruction::new(KernelId(5), 20, Cycles::ZERO, Cycles::ZERO),
+            ],
+        );
+        assert_eq!(tb.kernel_count(), 2);
+        assert_eq!(
+            tb.trigger_for(KernelId(5)).unwrap().expected_executions,
+            20
+        );
+        assert!(tb.trigger_for(KernelId(9)).is_none());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let ti = TriggerInstruction::new(KernelId(1), 5, Cycles::new(2), Cycles::new(3));
+        assert_eq!(ti.to_string(), "TI{K1, e=5, tf=2 cyc, tb=3 cyc}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Load units: the atomic reconfigurable artefacts.
+//!
+//! A *load unit* is what the reconfiguration controller actually streams:
+//! one partial bitstream into one PRC, or one context program into one
+//! EDPE. ISEs are (ordered) sets of load units; two ISEs of the same kernel
+//! may **share** units (the paper: intermediate ISEs "may become available
+//! … due to the completed reconfigurations of other ISEs that share some
+//! data paths with the specific ISE").
+
+use crate::ids::{KernelId, UnitId};
+use mrts_arch::{Cycles, FabricKind, Resources};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One atomic reconfigurable artefact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadUnit {
+    id: UnitId,
+    kernel: KernelId,
+    label: String,
+    fabric: FabricKind,
+    load_duration: Cycles,
+    saving_per_exec: Cycles,
+    /// Context-program length (CG units only; zero for FG units).
+    cg_instrs: u16,
+    /// Partial-bitstream size (FG units only; zero for CG units).
+    bitstream_bytes: u64,
+}
+
+impl LoadUnit {
+    /// Creates a unit (normally done by the catalogue builder).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        id: UnitId,
+        kernel: KernelId,
+        label: impl Into<String>,
+        fabric: FabricKind,
+        load_duration: Cycles,
+        saving_per_exec: Cycles,
+        cg_instrs: u16,
+        bitstream_bytes: u64,
+    ) -> Self {
+        LoadUnit {
+            id,
+            kernel,
+            label: label.into(),
+            fabric,
+            load_duration,
+            saving_per_exec,
+            cg_instrs,
+            bitstream_bytes,
+        }
+    }
+
+    /// The unit's identifier (doubles as the architecture layer's artefact
+    /// id).
+    #[must_use]
+    pub fn id(&self) -> UnitId {
+        self.id
+    }
+
+    /// The kernel this unit accelerates.
+    #[must_use]
+    pub fn kernel(&self) -> KernelId {
+        self.kernel
+    }
+
+    /// Human-readable label, e.g. `deblock.filter@CG#0`.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Which fabric the unit occupies.
+    #[must_use]
+    pub fn fabric(&self) -> FabricKind {
+        self.fabric
+    }
+
+    /// Pure transfer duration of the load (queueing excluded).
+    #[must_use]
+    pub fn load_duration(&self) -> Cycles {
+        self.load_duration
+    }
+
+    /// Core cycles saved per kernel execution once this unit is resident.
+    #[must_use]
+    pub fn saving_per_exec(&self) -> Cycles {
+        self.saving_per_exec
+    }
+
+    /// Context-program length in instructions (zero for FG units).
+    #[must_use]
+    pub fn cg_instrs(&self) -> u16 {
+        self.cg_instrs
+    }
+
+    /// Bitstream size in bytes (zero for CG units).
+    #[must_use]
+    pub fn bitstream_bytes(&self) -> u64 {
+        self.bitstream_bytes
+    }
+
+    /// The fabric slots this unit occupies (always exactly one PRC or one
+    /// EDPE).
+    #[must_use]
+    pub fn resources(&self) -> Resources {
+        match self.fabric {
+            FabricKind::FineGrained => Resources::prc_only(1),
+            FabricKind::CoarseGrained => Resources::cg_only(1),
+        }
+    }
+}
+
+impl fmt::Display for LoadUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} on {}, load {}, saves {}/exec]",
+            self.label, self.id, self.fabric, self.load_duration, self.saving_per_exec
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(fabric: FabricKind) -> LoadUnit {
+        LoadUnit::new(
+            UnitId(1),
+            KernelId(0),
+            "k.dp@X#0",
+            fabric,
+            Cycles::new(100),
+            Cycles::new(40),
+            16,
+            5_000,
+        )
+    }
+
+    #[test]
+    fn resources_match_fabric() {
+        assert_eq!(
+            unit(FabricKind::FineGrained).resources(),
+            Resources::prc_only(1)
+        );
+        assert_eq!(
+            unit(FabricKind::CoarseGrained).resources(),
+            Resources::cg_only(1)
+        );
+    }
+
+    #[test]
+    fn display_mentions_label_and_fabric() {
+        let s = unit(FabricKind::CoarseGrained).to_string();
+        assert!(s.contains("k.dp@X#0"));
+        assert!(s.contains("CG"));
+    }
+}

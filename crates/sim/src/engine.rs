@@ -1,0 +1,544 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine replays a [`Trace`] against a [`Machine`] under the control
+//! of a [`RuntimePolicy`]:
+//!
+//! 1. At each block activation it fires the trigger instructions
+//!    ([`RuntimePolicy::plan_block`]), applies the plan's evictions, issues
+//!    the reconfiguration requests through the machine's controller, and
+//! 2. simulates every kernel's execution timeline. Within a *residency
+//!    epoch* (the interval between two reconfiguration completions) the
+//!    fabric state cannot change, so the per-execution latency is constant
+//!    and executions are fast-forwarded in bulk — the results are
+//!    bit-identical to a per-execution loop, just thousands of times
+//!    cheaper.
+//!
+//! Kernels of one block proceed on parallel timelines (the core orchestrates
+//! while the fabrics execute; each kernel's `tf`/`tb` absorb the core's
+//! interleaving, matching the paper's Fig. 5 model). The reported
+//! *execution time* of a run is the total cycles spent in kernel executions
+//! plus the run-time system's own decision overhead — the quantity whose
+//! differences Eq. 5 maximizes.
+
+use crate::policy::{ExecContext, ExecMode, RuntimePolicy, SelectionContext};
+use crate::stats::{BlockStats, ExecClass, KernelStats, RunStats};
+use mrts_arch::{Cycles, FabricKind, Machine};
+use mrts_ise::{IseCatalog, IseId, KernelId, UnitId};
+use mrts_workload::{KernelActivity, Trace};
+
+/// The simulator: machine state plus the global clock.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    catalog: &'a IseCatalog,
+    machine: Machine,
+    now: Cycles,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over a freshly built machine.
+    #[must_use]
+    pub fn new(catalog: &'a IseCatalog, machine: Machine) -> Self {
+        Simulator {
+            catalog,
+            machine,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// Read access to the machine (tests inspect fabric state mid-run).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine, for scenario scripting between trace
+    /// segments (e.g. another task claiming or releasing fabric while the
+    /// application runs — the paper's "(b) the available … reconfigurable
+    /// fabric (shared among various tasks)").
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Convenience one-shot: build a simulator, run the whole trace, return
+    /// the statistics.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mrts_arch::{ArchParams, Machine, Resources};
+    /// use mrts_sim::{policy::RiscOnlyPolicy, Simulator};
+    /// use mrts_workload::{synthetic::ToyApp, synthetic::{synthetic_trace, Pattern}, WorkloadModel};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let toy = ToyApp::new();
+    /// let catalog = toy.application().build_catalog(ArchParams::default(), None)?;
+    /// let trace = synthetic_trace(&toy, &[Pattern::Constant(100)], 3);
+    /// let machine = Machine::new(ArchParams::default(), Resources::new(1, 1))?;
+    /// let stats = Simulator::run(&catalog, machine, &trace, &mut RiscOnlyPolicy::new());
+    /// assert_eq!(stats.total_executions(), 300);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn run(
+        catalog: &'a IseCatalog,
+        machine: Machine,
+        trace: &Trace,
+        policy: &mut dyn RuntimePolicy,
+    ) -> RunStats {
+        let mut sim = Simulator::new(catalog, machine);
+        sim.run_trace(trace, policy)
+    }
+
+    /// Runs a whole trace, consuming simulated time; can be called again
+    /// with another trace to continue the same machine state.
+    pub fn run_trace(&mut self, trace: &Trace, policy: &mut dyn RuntimePolicy) -> RunStats {
+        let mut stats = RunStats {
+            policy: policy.name(),
+            ..RunStats::default()
+        };
+        for activation in trace.activations() {
+            self.run_activation(activation, policy, &mut stats);
+        }
+        stats
+    }
+
+    fn run_activation(
+        &mut self,
+        activation: &mrts_workload::BlockActivation,
+        policy: &mut dyn RuntimePolicy,
+        stats: &mut RunStats,
+    ) {
+        let t0 = self.now;
+        self.machine.settle(t0);
+
+        let plan = {
+            let ctx = SelectionContext {
+                now: t0,
+                catalog: self.catalog,
+                machine: &self.machine,
+                forecast: &activation.forecast,
+            };
+            policy.plan_block(&ctx)
+        };
+
+        for &u in &plan.evict {
+            let _ = self.machine.evict(u.as_loaded_id());
+        }
+
+        // Epoch boundaries: completions of loads already in flight plus the
+        // ones issued for this plan.
+        let mut boundaries = self.machine.controller().pending_ready_times();
+        for &u in &plan.load_order {
+            if self.is_present(u) {
+                continue; // already resident or streaming
+            }
+            match self.issue_load(t0, u) {
+                Some(ready_at) => boundaries.push(ready_at),
+                None => stats.rejected_loads += 1,
+            }
+        }
+        boundaries.sort_unstable();
+
+        let mut makespan = Cycles::ZERO;
+        let mut busy = Cycles::ZERO;
+        for activity in &activation.actual {
+            let (kernel_busy, finish) = self.simulate_kernel(
+                t0 + plan.overhead,
+                activity,
+                plan.selection_for(activity.kernel),
+                policy,
+                &mut boundaries,
+                stats.kernels.entry(activity.kernel).or_default(),
+            );
+            busy += kernel_busy;
+            makespan = makespan.max((finish - t0) + Cycles::ZERO);
+        }
+        makespan = makespan.max(plan.overhead);
+
+        stats.blocks.push(BlockStats {
+            block: activation.block,
+            frame: activation.frame,
+            busy_cycles: busy,
+            makespan,
+            selection_overhead: plan.overhead,
+        });
+
+        policy.observe_block_end(activation.block, &activation.actual);
+        self.now = t0 + makespan;
+        self.machine.settle(self.now);
+    }
+
+    /// Simulates one kernel's execution timeline; returns (busy cycles,
+    /// finish time).
+    fn simulate_kernel(
+        &mut self,
+        start_base: Cycles,
+        activity: &KernelActivity,
+        selected: Option<IseId>,
+        policy: &mut dyn RuntimePolicy,
+        boundaries: &mut Vec<Cycles>,
+        kstats: &mut KernelStats,
+    ) -> (Cycles, Cycles) {
+        let kernel = self
+            .catalog
+            .kernel(activity.kernel)
+            .expect("trace kernels must exist in the catalogue");
+        let risc = kernel.risc_latency();
+        let mut t = start_base + activity.first_delay;
+        let mut remaining = activity.executions;
+        let mut busy = Cycles::ZERO;
+
+        while remaining > 0 {
+            self.machine.settle(t);
+            let eplan = {
+                let ctx = ExecContext {
+                    now: t,
+                    catalog: self.catalog,
+                    machine: &self.machine,
+                };
+                policy.plan_execution(activity.kernel, selected, &ctx)
+            };
+            if eplan.install_mono {
+                if let Some(ready_at) = self.try_install_mono(t, activity.kernel) {
+                    let pos = boundaries.partition_point(|b| *b <= ready_at);
+                    boundaries.insert(pos, ready_at);
+                }
+            }
+            let (class, latency) = self.resolve_execution(activity.kernel, eplan.mode, risc, t);
+            let period = latency + activity.gap;
+            debug_assert!(period > Cycles::ZERO);
+
+            // Executions starting strictly before the next residency change
+            // all see the same latency.
+            let next_boundary = boundaries.iter().find(|b| **b > t).copied();
+            let n = match next_boundary {
+                Some(b) => {
+                    let window = b - t;
+                    let fit = window.get().div_ceil(period.get().max(1)).max(1);
+                    fit.min(remaining)
+                }
+                None => remaining,
+            };
+            kstats.record(class, n, latency);
+            busy += latency * n;
+            t += period * n;
+            remaining -= n;
+        }
+        // The trailing gap after the last execution is not part of the block.
+        let finish = t - activity.gap;
+        (busy, finish)
+    }
+
+    /// Whether unit `u` is resident or currently streaming in.
+    fn is_present(&self, u: UnitId) -> bool {
+        self.machine.is_resident(u.as_loaded_id(), Cycles::MAX)
+    }
+
+    /// Issues the reconfiguration of `u`; returns its completion time.
+    fn issue_load(&mut self, now: Cycles, u: UnitId) -> Option<Cycles> {
+        let unit = self.catalog.unit(u);
+        let ticket = match unit.fabric() {
+            FabricKind::FineGrained => {
+                self.machine
+                    .load_fg(now, u.as_loaded_id(), unit.bitstream_bytes())
+            }
+            FabricKind::CoarseGrained => {
+                self.machine.load_cg(now, u.as_loaded_id(), unit.cg_instrs())
+            }
+        };
+        ticket.ok().map(|t| t.ready_at)
+    }
+
+    /// Installs the kernel's monoCG-Extension if it exists, is not already
+    /// present and a CG-EDPE is free. Returns the completion time.
+    fn try_install_mono(&mut self, now: Cycles, kernel: KernelId) -> Option<Cycles> {
+        let mono = *self.catalog.kernel(kernel).ok()?.mono_cg()?;
+        if self.is_present(mono.unit) {
+            return None;
+        }
+        self.machine
+            .load_mono_cg(now, mono.unit.as_loaded_id(), mono.instrs)
+            .ok()
+            .map(|t| t.ready_at)
+    }
+
+    /// Resolves an [`ExecMode`] against ground-truth residency at time `t`.
+    fn resolve_execution(
+        &self,
+        kernel: KernelId,
+        mode: ExecMode,
+        risc: Cycles,
+        t: Cycles,
+    ) -> (ExecClass, Cycles) {
+        match mode {
+            ExecMode::Risc => (ExecClass::RiscMode, risc),
+            ExecMode::MonoCg => {
+                let mono = self
+                    .catalog
+                    .kernel(kernel)
+                    .ok()
+                    .and_then(|k| k.mono_cg().copied());
+                match mono {
+                    Some(m) if self.machine.is_resident(m.unit.as_loaded_id(), t) => {
+                        (ExecClass::MonoCg, m.latency)
+                    }
+                    _ => (ExecClass::RiscMode, risc),
+                }
+            }
+            ExecMode::Ise(id) => {
+                let Ok(ise) = self.catalog.ise(id) else {
+                    return (ExecClass::RiscMode, risc);
+                };
+                if ise.kernel() != kernel {
+                    return (ExecClass::RiscMode, risc);
+                }
+                let resident = |u: UnitId| self.machine.is_resident(u.as_loaded_id(), t);
+                let latency = ise.latency_with(resident);
+                if latency == risc {
+                    (ExecClass::RiscMode, latency)
+                } else if ise.is_fully_resident(resident) {
+                    (ExecClass::FullIse, latency)
+                } else {
+                    (ExecClass::IntermediateIse, latency)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BlockPlan, ExecPlan, RiscOnlyPolicy};
+    use mrts_arch::{ArchParams, Resources};
+    use mrts_ise::{BlockId, Ise};
+    use mrts_workload::synthetic::{synthetic_trace, Pattern, ToyApp};
+    use mrts_workload::WorkloadModel;
+
+    fn setup() -> (IseCatalog, Trace) {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(500)], 4);
+        (catalog, trace)
+    }
+
+    fn machine(cg: u16, prc: u16) -> Machine {
+        Machine::new(ArchParams::default(), Resources::new(cg, prc)).unwrap()
+    }
+
+    #[test]
+    fn risc_only_cost_is_analytic() {
+        let (catalog, trace) = setup();
+        let stats = Simulator::run(&catalog, machine(2, 2), &trace, &mut RiscOnlyPolicy::new());
+        let risc = catalog.kernels()[0].risc_latency();
+        assert_eq!(stats.total_executions(), 2_000);
+        assert_eq!(stats.total_busy(), risc * 2_000);
+        assert_eq!(stats.total_overhead(), Cycles::ZERO);
+        assert_eq!(stats.rejected_loads, 0);
+        let h = stats.class_histogram();
+        assert_eq!(h.get(&ExecClass::RiscMode), Some(&2_000));
+    }
+
+    /// A fixed policy that always selects one given ISE and loads all its
+    /// units at block start.
+    struct FixedIsePolicy {
+        ise: IseId,
+    }
+
+    impl RuntimePolicy for FixedIsePolicy {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+
+        fn plan_block(&mut self, ctx: &SelectionContext<'_>) -> BlockPlan {
+            let ise = ctx.catalog.ise(self.ise).unwrap();
+            BlockPlan {
+                selections: vec![(ise.kernel(), Some(self.ise))],
+                evict: Vec::new(),
+                load_order: ise.unit_ids().collect(),
+                overhead: Cycles::new(100),
+            }
+        }
+
+        fn plan_execution(
+            &mut self,
+            _kernel: KernelId,
+            selected: Option<IseId>,
+            _ctx: &ExecContext<'_>,
+        ) -> ExecPlan {
+            ExecPlan {
+                mode: selected.map_or(ExecMode::Risc, ExecMode::Ise),
+                install_mono: false,
+            }
+        }
+    }
+
+    fn best_ise(catalog: &IseCatalog, pred: impl Fn(&&Ise) -> bool) -> IseId {
+        catalog
+            .ises()
+            .iter()
+            .filter(pred)
+            .max_by_key(|i| i.risc_latency() - i.full_latency())
+            .map(Ise::id)
+            .unwrap()
+    }
+
+    #[test]
+    fn cg_ise_accelerates_almost_immediately() {
+        let (catalog, trace) = setup();
+        let cg_ise = best_ise(&catalog, |i| i.grain() == mrts_ise::Grain::CoarseGrained);
+        let stats = Simulator::run(
+            &catalog,
+            machine(4, 0),
+            &trace,
+            &mut FixedIsePolicy { ise: cg_ise },
+        );
+        let risc_stats =
+            Simulator::run(&catalog, machine(4, 0), &trace, &mut RiscOnlyPolicy::new());
+        assert!(stats.total_busy() < risc_stats.total_busy());
+        let h = stats.class_histogram();
+        // The µs-scale CG load completes before (or within a couple of)
+        // executions: nearly everything runs on the full ISE.
+        assert!(h.get(&ExecClass::FullIse).copied().unwrap_or(0) > 1_900);
+    }
+
+    #[test]
+    fn fg_ise_needs_amortization() {
+        let (catalog, trace) = setup();
+        // Pick the most compact FG variant so its ms-scale load completes
+        // within the trace: the test is about the slow-start, not about
+        // never finishing.
+        let fg_ise = catalog
+            .ises()
+            .iter()
+            .filter(|i| i.grain() == mrts_ise::Grain::FineGrained && !i.is_mono_extension())
+            .min_by_key(|i| (i.stage_count(), i.full_latency()))
+            .map(Ise::id)
+            .unwrap();
+        let stats = Simulator::run(
+            &catalog,
+            machine(0, 4),
+            &trace,
+            &mut FixedIsePolicy { ise: fg_ise },
+        );
+        let h = stats.class_histogram();
+        // The ms-scale FG loads leave early executions in RISC mode or on
+        // intermediate ISEs.
+        let slow_start = h.get(&ExecClass::RiscMode).copied().unwrap_or(0)
+            + h.get(&ExecClass::IntermediateIse).copied().unwrap_or(0);
+        assert!(slow_start > 0, "{h:?}");
+        assert!(h.get(&ExecClass::FullIse).copied().unwrap_or(0) > 0, "{h:?}");
+    }
+
+    #[test]
+    fn insufficient_fabric_counts_rejections() {
+        let (catalog, trace) = setup();
+        // An MG ISE needs both fabrics; a machine with none rejects all.
+        let mg_ise = best_ise(&catalog, |i| i.grain() == mrts_ise::Grain::MultiGrained);
+        let stats = Simulator::run(
+            &catalog,
+            machine(0, 0),
+            &trace,
+            &mut FixedIsePolicy { ise: mg_ise },
+        );
+        assert!(stats.rejected_loads > 0);
+        // Everything still executed (in RISC mode).
+        assert_eq!(stats.total_executions(), 2_000);
+    }
+
+    /// ECU-like behaviour: request monoCG while the selected ISE is absent.
+    struct MonoPolicy;
+
+    impl RuntimePolicy for MonoPolicy {
+        fn name(&self) -> String {
+            "mono".into()
+        }
+
+        fn plan_block(&mut self, ctx: &SelectionContext<'_>) -> BlockPlan {
+            BlockPlan {
+                selections: ctx.forecast.iter().map(|t| (t.kernel, None)).collect(),
+                ..BlockPlan::default()
+            }
+        }
+
+        fn plan_execution(
+            &mut self,
+            kernel: KernelId,
+            _selected: Option<IseId>,
+            ctx: &ExecContext<'_>,
+        ) -> ExecPlan {
+            let mono = ctx.catalog.kernel(kernel).unwrap().mono_cg().copied();
+            match mono {
+                Some(m) if ctx.is_resident(m.unit) => ExecPlan {
+                    mode: ExecMode::MonoCg,
+                    install_mono: false,
+                },
+                Some(_) => ExecPlan {
+                    mode: ExecMode::Risc,
+                    install_mono: true,
+                },
+                None => ExecPlan::risc(),
+            }
+        }
+    }
+
+    #[test]
+    fn mono_cg_bridges_the_gap() {
+        let (catalog, trace) = setup();
+        let stats = Simulator::run(&catalog, machine(1, 0), &trace, &mut MonoPolicy);
+        let h = stats.class_histogram();
+        let mono = h.get(&ExecClass::MonoCg).copied().unwrap_or(0);
+        let risc = h.get(&ExecClass::RiscMode).copied().unwrap_or(0);
+        assert!(mono > 1_500, "mono executions: {h:?}");
+        // Only the first execution(s) before the µs-scale load ran in RISC.
+        assert!(risc < 100, "risc executions: {h:?}");
+        // And it beats pure RISC.
+        let risc_stats =
+            Simulator::run(&catalog, machine(1, 0), &trace, &mut RiscOnlyPolicy::new());
+        assert!(stats.total_busy() < risc_stats.total_busy());
+    }
+
+    #[test]
+    fn mono_not_installed_without_free_edpe() {
+        let (catalog, trace) = setup();
+        let stats = Simulator::run(&catalog, machine(0, 0), &trace, &mut MonoPolicy);
+        let h = stats.class_histogram();
+        assert_eq!(h.get(&ExecClass::MonoCg), None);
+        assert_eq!(h.get(&ExecClass::RiscMode), Some(&2_000));
+    }
+
+    #[test]
+    fn overhead_accumulates_per_block() {
+        let (catalog, trace) = setup();
+        let cg_ise = best_ise(&catalog, |i| i.grain() == mrts_ise::Grain::CoarseGrained);
+        let stats = Simulator::run(
+            &catalog,
+            machine(4, 0),
+            &trace,
+            &mut FixedIsePolicy { ise: cg_ise },
+        );
+        assert_eq!(stats.total_overhead(), Cycles::new(100) * 4);
+        assert!(stats.overhead_fraction() > 0.0);
+        assert_eq!(stats.blocks.len(), 4);
+        assert_eq!(stats.blocks[0].block, BlockId(0));
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let (catalog, trace) = setup();
+        let mut sim = Simulator::new(&catalog, machine(1, 1));
+        let before = sim.now();
+        let _ = sim.run_trace(&trace, &mut RiscOnlyPolicy::new());
+        assert!(sim.now() > before);
+    }
+}

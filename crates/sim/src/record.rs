@@ -1,0 +1,168 @@
+//! Recording policy wrapper: captures every selection decision a policy
+//! makes, for debugging, regression analysis and the examples' narrations.
+//!
+//! Wrap any [`RuntimePolicy`] in a [`Recording`] and inspect the
+//! [`BlockRecord`]s afterwards — which ISE was selected per kernel, what
+//! was evicted, what was streamed, and what the decision cost.
+
+use crate::policy::{BlockPlan, ExecContext, ExecPlan, RuntimePolicy, SelectionContext};
+use mrts_arch::{Cycles, Resources};
+use mrts_ise::{BlockId, IseId, KernelId, UnitId};
+use serde::{Deserialize, Serialize};
+
+/// One recorded trigger-instruction reaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockRecord {
+    /// Which functional block fired its trigger instructions.
+    pub block: BlockId,
+    /// Simulation time of the trigger.
+    pub at: Cycles,
+    /// Free fabric the policy saw (slot units).
+    pub free: Resources,
+    /// The selections it made (one per forecast kernel).
+    pub selections: Vec<(KernelId, Option<IseId>)>,
+    /// Units it evicted.
+    pub evicted: Vec<UnitId>,
+    /// Units it streamed.
+    pub loaded: Vec<UnitId>,
+    /// Decision cost charged to the timeline.
+    pub overhead: Cycles,
+}
+
+/// A [`RuntimePolicy`] wrapper that records every block plan.
+///
+/// # Example
+///
+/// ```
+/// use mrts_arch::{ArchParams, Machine, Resources};
+/// use mrts_sim::{record::Recording, RiscOnlyPolicy, Simulator};
+/// use mrts_workload::synthetic::{synthetic_trace, Pattern, ToyApp};
+/// use mrts_workload::WorkloadModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let toy = ToyApp::new();
+/// let catalog = toy.application().build_catalog(ArchParams::default(), None)?;
+/// let trace = synthetic_trace(&toy, &[Pattern::Constant(100)], 3);
+/// let machine = Machine::new(ArchParams::default(), Resources::new(1, 1))?;
+/// let mut recording = Recording::new(RiscOnlyPolicy::new());
+/// let _ = Simulator::run(&catalog, machine, &trace, &mut recording);
+/// assert_eq!(recording.records().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Recording<P> {
+    inner: P,
+    records: Vec<BlockRecord>,
+}
+
+impl<P: RuntimePolicy> Recording<P> {
+    /// Wraps a policy.
+    pub fn new(inner: P) -> Self {
+        Recording {
+            inner,
+            records: Vec::new(),
+        }
+    }
+
+    /// The recorded block reactions, in trigger order.
+    #[must_use]
+    pub fn records(&self) -> &[BlockRecord] {
+        &self.records
+    }
+
+    /// The wrapped policy.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps into the policy and its records.
+    #[must_use]
+    pub fn into_parts(self) -> (P, Vec<BlockRecord>) {
+        (self.inner, self.records)
+    }
+
+    /// How often the selection for `kernel` changed between consecutive
+    /// activations that include it — a measure of selection (in)stability.
+    #[must_use]
+    pub fn selection_changes(&self, kernel: KernelId) -> usize {
+        let picks: Vec<Option<IseId>> = self
+            .records
+            .iter()
+            .filter_map(|r| {
+                r.selections
+                    .iter()
+                    .find(|(k, _)| *k == kernel)
+                    .map(|(_, i)| *i)
+            })
+            .collect();
+        picks.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+impl<P: RuntimePolicy> RuntimePolicy for Recording<P> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn plan_block(&mut self, ctx: &SelectionContext<'_>) -> BlockPlan {
+        let plan = self.inner.plan_block(ctx);
+        self.records.push(BlockRecord {
+            block: ctx.forecast.block,
+            at: ctx.now,
+            free: ctx.machine.free_resources(),
+            selections: plan.selections.clone(),
+            evicted: plan.evict.clone(),
+            loaded: plan.load_order.clone(),
+            overhead: plan.overhead,
+        });
+        plan
+    }
+
+    fn plan_execution(
+        &mut self,
+        kernel: KernelId,
+        selected: Option<IseId>,
+        ctx: &ExecContext<'_>,
+    ) -> ExecPlan {
+        self.inner.plan_execution(kernel, selected, ctx)
+    }
+
+    fn observe_block_end(&mut self, block: BlockId, observed: &[mrts_workload::KernelActivity]) {
+        self.inner.observe_block_end(block, observed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::policy::RiscOnlyPolicy;
+    use mrts_arch::{ArchParams, Machine};
+    use mrts_workload::synthetic::{synthetic_trace, Pattern, ToyApp};
+    use mrts_workload::WorkloadModel;
+
+    #[test]
+    fn records_every_block_and_stays_transparent() {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(200)], 4);
+        let mk = || Machine::new(ArchParams::default(), Resources::new(1, 1)).unwrap();
+
+        let plain = Simulator::run(&catalog, mk(), &trace, &mut RiscOnlyPolicy::new());
+        let mut rec = Recording::new(RiscOnlyPolicy::new());
+        let wrapped = Simulator::run(&catalog, mk(), &trace, &mut rec);
+        // The wrapper must not change behaviour.
+        assert_eq!(plain, wrapped);
+        assert_eq!(rec.records().len(), 4);
+        for r in rec.records() {
+            assert_eq!(r.selections.len(), 1);
+            assert!(r.loaded.is_empty());
+        }
+        assert_eq!(rec.selection_changes(mrts_ise::KernelId(0)), 0);
+    }
+}

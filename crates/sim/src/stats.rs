@@ -1,0 +1,249 @@
+//! Run statistics: what the evaluation figures are made of.
+
+use mrts_arch::Cycles;
+use mrts_ise::{BlockId, KernelId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How one (batch of) kernel execution(s) was carried out, as classified by
+/// the simulator from ground-truth fabric residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ExecClass {
+    /// Core's basic instruction set only.
+    RiscMode,
+    /// The monoCG-Extension.
+    MonoCg,
+    /// An ISE with only part of its units resident (an intermediate ISE).
+    IntermediateIse,
+    /// A fully reconfigured ISE.
+    FullIse,
+}
+
+impl ExecClass {
+    /// All classes, in reporting order.
+    pub const ALL: [ExecClass; 4] = [
+        ExecClass::RiscMode,
+        ExecClass::MonoCg,
+        ExecClass::IntermediateIse,
+        ExecClass::FullIse,
+    ];
+}
+
+impl fmt::Display for ExecClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecClass::RiscMode => write!(f, "RISC"),
+            ExecClass::MonoCg => write!(f, "monoCG"),
+            ExecClass::IntermediateIse => write!(f, "intermediate"),
+            ExecClass::FullIse => write!(f, "full-ISE"),
+        }
+    }
+}
+
+/// Accumulated behaviour of one kernel over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Total executions.
+    pub executions: u64,
+    /// Total cycles spent executing the kernel.
+    pub cycles: Cycles,
+    /// Executions per execution class.
+    pub by_class: BTreeMap<ExecClass, u64>,
+}
+
+impl KernelStats {
+    /// Records `n` executions of `latency` cycles each in class `class`.
+    pub fn record(&mut self, class: ExecClass, n: u64, latency: Cycles) {
+        self.executions += n;
+        self.cycles += latency * n;
+        *self.by_class.entry(class).or_insert(0) += n;
+    }
+
+    /// Executions in a given class.
+    #[must_use]
+    pub fn class_count(&self, class: ExecClass) -> u64 {
+        self.by_class.get(&class).copied().unwrap_or(0)
+    }
+}
+
+/// Timing of one functional-block activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockStats {
+    /// Which block.
+    pub block: BlockId,
+    /// Input frame index.
+    pub frame: u32,
+    /// Cycles spent in kernel executions within this activation.
+    pub busy_cycles: Cycles,
+    /// Wall-clock span of the activation (trigger to last kernel finish).
+    pub makespan: Cycles,
+    /// Run-time-system decision cost charged to this activation.
+    pub selection_overhead: Cycles,
+}
+
+/// Complete statistics of one simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Name of the policy that produced the run.
+    pub policy: String,
+    /// Per-kernel accumulators.
+    pub kernels: BTreeMap<KernelId, KernelStats>,
+    /// Per-activation timings, in trace order.
+    pub blocks: Vec<BlockStats>,
+    /// Units the policy asked to load but the machine had to reject
+    /// (insufficient free fabric) — should stay 0 for well-formed policies.
+    pub rejected_loads: u64,
+}
+
+impl RunStats {
+    /// Total kernel-execution cycles over the whole run — the paper's
+    /// "execution time" metric of Fig. 8.
+    #[must_use]
+    pub fn total_busy(&self) -> Cycles {
+        self.kernels.values().map(|k| k.cycles).sum()
+    }
+
+    /// Total run-time-system overhead.
+    #[must_use]
+    pub fn total_overhead(&self) -> Cycles {
+        self.blocks.iter().map(|b| b.selection_overhead).sum()
+    }
+
+    /// Execution time including the run-time system's own cost.
+    #[must_use]
+    pub fn total_execution_time(&self) -> Cycles {
+        self.total_busy() + self.total_overhead()
+    }
+
+    /// Sum of block makespans (wall-clock view).
+    #[must_use]
+    pub fn total_makespan(&self) -> Cycles {
+        self.blocks.iter().map(|b| b.makespan).sum()
+    }
+
+    /// Total executions over all kernels.
+    #[must_use]
+    pub fn total_executions(&self) -> u64 {
+        self.kernels.values().map(|k| k.executions).sum()
+    }
+
+    /// Executions per class over all kernels.
+    #[must_use]
+    pub fn class_histogram(&self) -> BTreeMap<ExecClass, u64> {
+        let mut h = BTreeMap::new();
+        for k in self.kernels.values() {
+            for (c, n) in &k.by_class {
+                *h.entry(*c).or_insert(0) += n;
+            }
+        }
+        h
+    }
+
+    /// Speedup of this run relative to `baseline` (by execution time
+    /// including overhead). Returns 0.0 if this run took no time.
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
+        let own = self.total_execution_time().get();
+        if own == 0 {
+            return 0.0;
+        }
+        baseline.total_execution_time().get() as f64 / own as f64
+    }
+
+    /// Overhead as a fraction of total execution time (the paper's 1.9%
+    /// claim in Section 5.4).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.total_execution_time().get();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_overhead().get() as f64 / total as f64
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.3} Mcycles busy (+{:.3} Mcycles overhead), {} executions",
+            self.policy,
+            self.total_busy().as_mcycles(),
+            self.total_overhead().as_mcycles(),
+            self.total_executions()
+        )?;
+        let h = self.class_histogram();
+        for c in ExecClass::ALL {
+            if let Some(n) = h.get(&c) {
+                writeln!(f, "  {c}: {n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_stats_accumulate() {
+        let mut k = KernelStats::default();
+        k.record(ExecClass::RiscMode, 10, Cycles::new(100));
+        k.record(ExecClass::FullIse, 5, Cycles::new(20));
+        assert_eq!(k.executions, 15);
+        assert_eq!(k.cycles, Cycles::new(1_100));
+        assert_eq!(k.class_count(ExecClass::RiscMode), 10);
+        assert_eq!(k.class_count(ExecClass::MonoCg), 0);
+    }
+
+    #[test]
+    fn run_totals_and_speedup() {
+        let mut fast = RunStats {
+            policy: "fast".into(),
+            ..RunStats::default()
+        };
+        fast.kernels
+            .entry(KernelId(0))
+            .or_default()
+            .record(ExecClass::FullIse, 10, Cycles::new(10));
+        let mut slow = RunStats {
+            policy: "slow".into(),
+            ..RunStats::default()
+        };
+        slow.kernels
+            .entry(KernelId(0))
+            .or_default()
+            .record(ExecClass::RiscMode, 10, Cycles::new(30));
+        assert_eq!(fast.total_busy(), Cycles::new(100));
+        assert!((fast.speedup_vs(&slow) - 3.0).abs() < 1e-12);
+        assert_eq!(fast.total_executions(), 10);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let mut s = RunStats::default();
+        s.kernels
+            .entry(KernelId(0))
+            .or_default()
+            .record(ExecClass::RiscMode, 1, Cycles::new(980));
+        s.blocks.push(BlockStats {
+            block: BlockId(0),
+            frame: 0,
+            busy_cycles: Cycles::new(980),
+            makespan: Cycles::new(1_000),
+            selection_overhead: Cycles::new(20),
+        });
+        assert!((s.overhead_fraction() - 0.02).abs() < 1e-12);
+        assert_eq!(s.total_execution_time(), Cycles::new(1_000));
+    }
+
+    #[test]
+    fn empty_stats_are_harmless() {
+        let s = RunStats::default();
+        assert_eq!(s.total_busy(), Cycles::ZERO);
+        assert_eq!(s.speedup_vs(&s), 0.0);
+        assert_eq!(s.overhead_fraction(), 0.0);
+    }
+}

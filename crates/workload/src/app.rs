@@ -1,0 +1,366 @@
+//! Application structure: functional blocks over kernels, plus the
+//! [`WorkloadModel`] abstraction that turns input data into per-frame kernel
+//! execution counts.
+
+use mrts_arch::{ArchParams, Cycles, Resources};
+use mrts_ise::{BlockId, CatalogBuilder, IseCatalog, IseError, KernelId, KernelSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::video::FrameStats;
+
+/// One functional block: a named group of kernels announced together by one
+/// trigger-instruction set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionalBlock {
+    /// The block's identifier.
+    pub id: BlockId,
+    /// Diagnostic name (e.g. `loop_filter`).
+    pub name: String,
+    /// The kernels the block executes.
+    pub kernels: Vec<KernelId>,
+}
+
+/// A complete application: kernel specifications plus the functional-block
+/// structure over them.
+#[derive(Debug, Clone)]
+pub struct Application {
+    name: String,
+    specs: Vec<KernelSpec>,
+    blocks: Vec<FunctionalBlock>,
+}
+
+impl Application {
+    /// Assembles an application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block references a kernel index outside `specs` — the
+    /// application definition is static, so this is a programming error.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        specs: Vec<KernelSpec>,
+        blocks: Vec<FunctionalBlock>,
+    ) -> Self {
+        for b in &blocks {
+            for k in &b.kernels {
+                assert!(
+                    usize::from(k.index()) < specs.len(),
+                    "block '{}' references unknown kernel {k}",
+                    b.name
+                );
+            }
+        }
+        Application {
+            name: name.into(),
+            specs,
+            blocks,
+        }
+    }
+
+    /// The application's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel specifications (index = [`KernelId`]).
+    #[must_use]
+    pub fn kernel_specs(&self) -> &[KernelSpec] {
+        &self.specs
+    }
+
+    /// The functional blocks in execution order.
+    #[must_use]
+    pub fn blocks(&self) -> &[FunctionalBlock] {
+        &self.blocks
+    }
+
+    /// Number of kernels.
+    #[must_use]
+    pub fn kernel_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Merges several applications into one that multi-tasks them on a
+    /// shared machine: kernel ids and block ids are re-based so each
+    /// component keeps its structure, and the blocks interleave in
+    /// round-robin order (app₀ block₀, app₁ block₀, …, app₀ block₁, …) —
+    /// the paper's *"available fine- and coarse-grained reconfigurable
+    /// fabric (shared among various tasks)"* scenario.
+    ///
+    /// Returns the merged application and, per component, its kernel-id
+    /// offset (to translate component-local ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    #[must_use]
+    pub fn merged(name: impl Into<String>, apps: &[&Application]) -> (Application, Vec<u16>) {
+        assert!(!apps.is_empty(), "merging requires at least one application");
+        let mut specs = Vec::new();
+        let mut offsets = Vec::with_capacity(apps.len());
+        let mut rebased_blocks: Vec<Vec<FunctionalBlock>> = Vec::with_capacity(apps.len());
+        for app in apps {
+            let offset = specs.len() as u16;
+            offsets.push(offset);
+            specs.extend(app.kernel_specs().iter().cloned());
+            rebased_blocks.push(
+                app.blocks()
+                    .iter()
+                    .map(|b| FunctionalBlock {
+                        id: BlockId(0), // renumbered below
+                        name: format!("{}::{}", app.name(), b.name),
+                        kernels: b
+                            .kernels
+                            .iter()
+                            .map(|k| KernelId(k.index() + offset))
+                            .collect(),
+                    })
+                    .collect(),
+            );
+        }
+        // Round-robin interleave the component block sequences.
+        let mut blocks = Vec::new();
+        let longest = rebased_blocks.iter().map(Vec::len).max().unwrap_or(0);
+        for round in 0..longest {
+            for seq in &mut rebased_blocks {
+                if round < seq.len() {
+                    let mut b = seq[round].clone();
+                    b.id = BlockId(blocks.len() as u16);
+                    blocks.push(b);
+                }
+            }
+        }
+        (Application::new(name, specs, blocks), offsets)
+    }
+
+    /// Builds the compile-time ISE catalogue for this application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalogue-builder errors (see
+    /// [`CatalogBuilder::build`]).
+    pub fn build_catalog(
+        &self,
+        params: ArchParams,
+        machine_budget: Option<Resources>,
+    ) -> Result<IseCatalog, IseError> {
+        let mut b = CatalogBuilder::new(params);
+        for spec in &self.specs {
+            b = b.kernel(spec.clone());
+        }
+        if let Some(budget) = machine_budget {
+            b = b.machine_budget(budget);
+        }
+        b.build()
+    }
+}
+
+/// Maps input data (frames) to dynamic kernel behaviour.
+///
+/// The simulator and trace builder are generic over this trait, so the
+/// H.264 encoder, the FFT pipeline and the crypto application all drive the
+/// same machinery.
+pub trait WorkloadModel {
+    /// The application structure.
+    fn application(&self) -> &Application;
+
+    /// Actual executions of every kernel (indexed by `KernelId`) for one
+    /// frame of input.
+    fn kernel_executions(&self, frame: &FrameStats) -> Vec<u64>;
+
+    /// Average gap between two consecutive executions of a kernel
+    /// (core cycles of non-kernel work, the `tbᵢ` generator).
+    fn kernel_gap(&self, kernel: KernelId) -> Cycles {
+        let _ = kernel;
+        Cycles::new(400)
+    }
+
+    /// Delay from the block's trigger instruction to the kernel's first
+    /// execution (the `tfᵢ` generator). The default staggers kernels by
+    /// their position within the block.
+    fn kernel_first_delay(&self, block: &FunctionalBlock, kernel: KernelId) -> Cycles {
+        let pos = block
+            .kernels
+            .iter()
+            .position(|k| *k == kernel)
+            .unwrap_or(0) as u64;
+        Cycles::new(1_000 + pos * 2_000)
+    }
+}
+
+/// A [`WorkloadModel`] multi-tasking several component models on one
+/// machine (see [`Application::merged`]).
+///
+/// # Example
+///
+/// ```
+/// use mrts_workload::app::MergedWorkload;
+/// use mrts_workload::apps::{CipherApp, FftApp};
+/// use mrts_workload::WorkloadModel;
+///
+/// let fft = FftApp::new();
+/// let cipher = CipherApp::new();
+/// let merged = MergedWorkload::new("radio", vec![&fft, &cipher]);
+/// assert_eq!(merged.application().kernel_count(), 4);
+/// assert_eq!(merged.application().blocks().len(), 2);
+/// ```
+pub struct MergedWorkload<'a> {
+    app: Application,
+    components: Vec<&'a dyn WorkloadModel>,
+    offsets: Vec<u16>,
+}
+
+impl std::fmt::Debug for MergedWorkload<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergedWorkload")
+            .field("app", &self.app.name())
+            .field("components", &self.components.len())
+            .field("offsets", &self.offsets)
+            .finish()
+    }
+}
+
+impl<'a> MergedWorkload<'a> {
+    /// Merges the component models (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, components: Vec<&'a dyn WorkloadModel>) -> Self {
+        let apps: Vec<&Application> = components.iter().map(|c| c.application()).collect();
+        let (app, offsets) = Application::merged(name, &apps);
+        MergedWorkload {
+            app,
+            components,
+            offsets,
+        }
+    }
+
+    /// The component (and its kernel-id offset) owning a merged kernel id.
+    fn component_of(&self, kernel: KernelId) -> (usize, u16) {
+        let mut owner = 0;
+        for (i, off) in self.offsets.iter().enumerate() {
+            if kernel.index() >= *off {
+                owner = i;
+            }
+        }
+        (owner, self.offsets[owner])
+    }
+}
+
+impl WorkloadModel for MergedWorkload<'_> {
+    fn application(&self) -> &Application {
+        &self.app
+    }
+
+    fn kernel_executions(&self, frame: &FrameStats) -> Vec<u64> {
+        self.components
+            .iter()
+            .flat_map(|c| c.kernel_executions(frame))
+            .collect()
+    }
+
+    fn kernel_gap(&self, kernel: KernelId) -> mrts_arch::Cycles {
+        let (i, off) = self.component_of(kernel);
+        self.components[i].kernel_gap(KernelId(kernel.index() - off))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrts_ise::datapath::{DataPathGraph, OpKind};
+
+    fn spec(name: &str) -> KernelSpec {
+        let mut b = DataPathGraph::builder("g");
+        let a = b.input();
+        let _ = b.op(OpKind::Abs, &[a]);
+        KernelSpec::new(name).data_path(b.finish().unwrap(), 4)
+    }
+
+    #[test]
+    fn application_assembles() {
+        let app = Application::new(
+            "toy",
+            vec![spec("k0"), spec("k1")],
+            vec![FunctionalBlock {
+                id: BlockId(0),
+                name: "fb0".into(),
+                kernels: vec![KernelId(0), KernelId(1)],
+            }],
+        );
+        assert_eq!(app.kernel_count(), 2);
+        assert_eq!(app.blocks()[0].kernels.len(), 2);
+        let catalog = app
+            .build_catalog(ArchParams::default(), None)
+            .expect("catalog builds");
+        assert_eq!(catalog.kernels().len(), 2);
+    }
+
+    #[test]
+    fn merged_applications_interleave_blocks_and_rebase_kernels() {
+        use crate::apps::{CipherApp, FftApp};
+        use crate::h264::H264Encoder;
+
+        let enc = H264Encoder::new();
+        let fft = FftApp::new();
+        let cipher = CipherApp::new();
+        let merged = MergedWorkload::new("soc", vec![&enc, &fft, &cipher]);
+        let app = merged.application();
+        // 11 + 2 + 2 kernels; 3 + 1 + 1 blocks.
+        assert_eq!(app.kernel_count(), 15);
+        assert_eq!(app.blocks().len(), 5);
+        // Round-robin: enc.b0, fft.b0, cipher.b0, enc.b1, enc.b2.
+        let names: Vec<&str> = app.blocks().iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "h264_encoder::motion_intra",
+                "fft_pipeline::fft",
+                "stream_cipher::encrypt",
+                "h264_encoder::transform_encode",
+                "h264_encoder::loop_filter",
+            ]
+        );
+        // Block ids renumbered densely.
+        for (i, b) in app.blocks().iter().enumerate() {
+            assert_eq!(b.id, BlockId(i as u16));
+        }
+        // The fft block's kernels were rebased past the encoder's 11.
+        assert_eq!(app.blocks()[1].kernels, vec![KernelId(11), KernelId(12)]);
+        // Execution counts concatenate component outputs.
+        let frame = &crate::video::VideoModel::paper_default(1).frames()[0];
+        let counts = merged.kernel_executions(frame);
+        assert_eq!(counts.len(), 15);
+        assert_eq!(&counts[..11], &enc.kernel_executions(frame)[..]);
+        assert_eq!(&counts[11..13], &fft.kernel_executions(frame)[..]);
+        // Gaps dispatch to the owning component.
+        assert_eq!(merged.kernel_gap(KernelId(11)), fft.kernel_gap(KernelId(0)));
+        assert_eq!(
+            merged.kernel_gap(KernelId(14)),
+            cipher.kernel_gap(KernelId(1))
+        );
+        // And the merged catalogue builds.
+        let catalog = app
+            .build_catalog(mrts_arch::ArchParams::default(), None)
+            .expect("merged catalog builds");
+        assert_eq!(catalog.kernels().len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel")]
+    fn bad_block_reference_panics() {
+        let _ = Application::new(
+            "bad",
+            vec![spec("k0")],
+            vec![FunctionalBlock {
+                id: BlockId(0),
+                name: "fb0".into(),
+                kernels: vec![KernelId(5)],
+            }],
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Additional applications demonstrating generality beyond the H.264
+//! encoder: a data-dominant FFT pipeline (CG territory) and a
+//! control-dominant stream cipher (FG territory).
+//!
+//! The paper motivates multi-grained processors with *"future embedded
+//! applications possess heterogeneous processing behaviour"*; these two
+//! models sit at the extremes of that spectrum and are used by the
+//! Section 5.2 applicability checks ("mRTS behaves like RISPP on FG-only
+//! machines, like Morpheus/4S on loosely coupled ones").
+
+use crate::app::{Application, FunctionalBlock, WorkloadModel};
+use crate::video::FrameStats;
+use mrts_arch::Cycles;
+use mrts_ise::datapath::{DataPathGraph, OpKind};
+use mrts_ise::{BlockId, KernelId, KernelSpec};
+
+/// Radix-4 FFT butterfly: pure word arithmetic with multiplies —
+/// data-dominant.
+#[must_use]
+pub fn fft_butterfly_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("bfly4");
+    let x0 = b.input();
+    let x1 = b.input();
+    let w = b.input(); // twiddle factor
+    let t = b.op(OpKind::Mul, &[x1, w]);
+    let y0 = b.op(OpKind::Add, &[x0, t]);
+    let y1 = b.op(OpKind::Sub, &[x0, t]);
+    let m = b.op(OpKind::Mac, &[y0, y1, w]);
+    let _ = b.op(OpKind::Shr, &[m, w]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Windowing/scaling stage of the FFT pipeline.
+#[must_use]
+pub fn fft_window_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("window");
+    let x = b.input();
+    let c = b.input();
+    let m = b.op(OpKind::Mul, &[x, c]);
+    let _ = b.op(OpKind::Shr, &[m, c]);
+    b.finish().expect("static graph is valid")
+}
+
+/// The FFT application: one functional block, two word-level kernels.
+#[must_use]
+pub fn fft_application() -> Application {
+    let specs = vec![
+        KernelSpec::new("window")
+            .data_path(fft_window_graph(), 32)
+            .overhead_cycles(60),
+        KernelSpec::new("butterfly")
+            .data_path(fft_butterfly_graph(), 48)
+            .overhead_cycles(80),
+    ];
+    Application::new(
+        "fft_pipeline",
+        specs,
+        vec![FunctionalBlock {
+            id: BlockId(0),
+            name: "fft".into(),
+            kernels: vec![KernelId(0), KernelId(1)],
+        }],
+    )
+}
+
+/// A data-dominant FFT workload: execution counts scale with "input rate"
+/// (reusing the frame residual as the activity proxy).
+#[derive(Debug)]
+pub struct FftApp {
+    app: Application,
+}
+
+impl FftApp {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        FftApp {
+            app: fft_application(),
+        }
+    }
+}
+
+impl Default for FftApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadModel for FftApp {
+    fn application(&self) -> &Application {
+        &self.app
+    }
+
+    fn kernel_executions(&self, frame: &FrameStats) -> Vec<u64> {
+        let rate = 0.3 + 0.7 * frame.mean_residual();
+        vec![(256.0 * rate) as u64, (1_024.0 * rate) as u64]
+    }
+
+    fn kernel_gap(&self, _kernel: KernelId) -> Cycles {
+        Cycles::new(120) // streaming: kernels run back to back
+    }
+}
+
+/// Stream-cipher round: table substitution, permutation, parity — almost
+/// entirely bit-level, control-dominant.
+#[must_use]
+pub fn cipher_round_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("round");
+    let state = b.input();
+    let key = b.input();
+    let x = b.op(OpKind::Xor, &[state, key]);
+    let s = b.op(OpKind::LutLookup, &[x]);
+    let p = b.op(OpKind::BitShuffle, &[s, key]);
+    let e = b.op(OpKind::BitExtract, &[p]);
+    let i = b.op(OpKind::BitInsert, &[p, e, key]);
+    let _ = b.op(OpKind::Parity, &[i]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Key-schedule expansion: bit packing and rotation.
+#[must_use]
+pub fn key_schedule_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("keysched");
+    let k = b.input();
+    let r = b.input();
+    let rot = b.op(OpKind::BitShuffle, &[k, r]);
+    let m = b.op(OpKind::Mask, &[rot, r]);
+    let _ = b.op(OpKind::Pack, &[m, k]);
+    b.finish().expect("static graph is valid")
+}
+
+/// The cipher application: one functional block, two bit-level kernels.
+#[must_use]
+pub fn cipher_application() -> Application {
+    let specs = vec![
+        KernelSpec::new("keysched")
+            .data_path(key_schedule_graph(), 8)
+            .overhead_cycles(40),
+        KernelSpec::new("round")
+            .data_path(cipher_round_graph(), 20)
+            .overhead_cycles(70),
+    ];
+    Application::new(
+        "stream_cipher",
+        specs,
+        vec![FunctionalBlock {
+            id: BlockId(0),
+            name: "encrypt".into(),
+            kernels: vec![KernelId(0), KernelId(1)],
+        }],
+    )
+}
+
+/// A control-dominant cipher workload.
+#[derive(Debug)]
+pub struct CipherApp {
+    app: Application,
+}
+
+impl CipherApp {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        CipherApp {
+            app: cipher_application(),
+        }
+    }
+}
+
+impl Default for CipherApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadModel for CipherApp {
+    fn application(&self) -> &Application {
+        &self.app
+    }
+
+    fn kernel_executions(&self, frame: &FrameStats) -> Vec<u64> {
+        // Payload size varies with the activity proxy.
+        let payload = 0.4 + 0.6 * frame.mean_edge_strength();
+        vec![(64.0 * payload) as u64, (2_048.0 * payload) as u64]
+    }
+
+    fn kernel_gap(&self, _kernel: KernelId) -> Cycles {
+        Cycles::new(250)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoModel;
+    use mrts_arch::ArchParams;
+    use mrts_ise::Grain;
+
+    #[test]
+    fn fft_catalog_is_cg_leaning() {
+        let app = fft_application();
+        let catalog = app.build_catalog(ArchParams::default(), None).unwrap();
+        // For every FFT kernel, the best single-copy variant (highest total
+        // saving) must be the CG one: word arithmetic belongs on CG.
+        for k in catalog.kernels() {
+            let best = catalog
+                .ises_of(k.id())
+                .iter()
+                .map(|i| catalog.ise(*i).unwrap())
+                .max_by_key(|ise| ise.risc_latency() - ise.full_latency())
+                .unwrap();
+            assert_ne!(best.grain(), Grain::FineGrained, "kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn cipher_catalog_is_fg_leaning() {
+        let app = cipher_application();
+        let catalog = app.build_catalog(ArchParams::default(), None).unwrap();
+        for k in catalog.kernels() {
+            let best = catalog
+                .ises_of(k.id())
+                .iter()
+                .map(|i| catalog.ise(*i).unwrap())
+                .max_by_key(|ise| ise.risc_latency() - ise.full_latency())
+                .unwrap();
+            assert_ne!(best.grain(), Grain::CoarseGrained, "kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn workload_counts_positive() {
+        let frames = VideoModel::paper_default(2).frames();
+        for f in &frames {
+            for c in FftApp::new().kernel_executions(f) {
+                assert!(c > 0);
+            }
+            for c in CipherApp::new().kernel_executions(f) {
+                assert!(c > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,682 @@
+//! The H.264-encoder-shaped application.
+//!
+//! Reproduces the structure the paper evaluates on: *"The complete encoder
+//! contains in fact three functional blocks where the biggest one contains
+//! more than six kernels."* Our encoder model has
+//!
+//! 1. **motion_intra** — SAD-based motion estimation, SATD cost, intra
+//!    prediction,
+//! 2. **transform_encode** — (I)DCT, (de)quantisation, Hadamard, zig-zag
+//!    scan and CAVLC bit packing (seven kernels), and
+//! 3. **loop_filter** — the Deblocking Filter of the paper's Section 2 case
+//!    study, with its control-dominant *condition* data path (bit-level)
+//!    and data-dominant *filter* data path (word-level).
+//!
+//! Per-frame execution counts are derived from the synthetic video's
+//! macroblock features with H.264-flavoured decision rules (boundary
+//! strength, coded-block fraction, motion-search effort), so counts vary
+//! with input data exactly as in the paper's Fig. 2.
+
+use crate::app::{Application, FunctionalBlock, WorkloadModel};
+use crate::video::FrameStats;
+use mrts_arch::Cycles;
+use mrts_ise::datapath::{DataPathGraph, OpKind};
+use mrts_ise::{BlockId, KernelId, KernelSpec};
+
+/// Kernel indices of the encoder (stable, used by figures and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum H264Kernel {
+    Sad16 = 0,
+    Satd = 1,
+    IntraPred = 2,
+    Dct4 = 3,
+    Idct4 = 4,
+    Quant = 5,
+    Dequant = 6,
+    Hadamard = 7,
+    Zigzag = 8,
+    Cavlc = 9,
+    Deblock = 10,
+}
+
+impl H264Kernel {
+    /// The kernel's catalogue id.
+    #[must_use]
+    pub fn id(self) -> KernelId {
+        KernelId(self as u16)
+    }
+}
+
+/// Builds the deblocking-filter *condition* data path: boundary-strength
+/// derivation from coding flags and pixel gradients — bit-level,
+/// control-dominant (suits the FG fabric).
+#[must_use]
+pub fn deblock_condition_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("cond");
+    let flags_p = b.input(); // macroblock coding flags, side P
+    let flags_q = b.input(); // side Q
+    let grad = b.input(); // packed pixel gradients across the edge
+    let fp = b.op(OpKind::BitExtract, &[flags_p]);
+    let fq = b.op(OpKind::BitExtract, &[flags_q]);
+    let merged = b.op(OpKind::Or, &[fp, fq]);
+    let shuffled = b.op(OpKind::BitShuffle, &[merged, grad]);
+    let bs = b.op(OpKind::LutLookup, &[shuffled]);
+    let mask = b.op(OpKind::Mask, &[bs, grad]);
+    let thr = b.op(OpKind::Cmp, &[mask, flags_p]);
+    let _sel = b.op(OpKind::Select, &[thr, bs, merged]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Builds the deblocking-filter *filter* data path: the 4-tap edge filter —
+/// (sub)word arithmetic, data-dominant (suits the CG fabric).
+#[must_use]
+pub fn deblock_filter_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("filt");
+    let p1 = b.input();
+    let p0 = b.input();
+    let q0 = b.input();
+    let q1 = b.input();
+    let c_lo = b.input(); // clip bounds from the condition data path
+    let c_hi = b.input();
+    let d0 = b.op(OpKind::Sub, &[q0, p0]);
+    let d1 = b.op(OpKind::Sub, &[p1, q1]);
+    let s = b.op(OpKind::Shl, &[d0, p1]); // 4*(q0-p0)
+    let t = b.op(OpKind::Add, &[s, d1]);
+    let r = b.op(OpKind::Shr, &[t, q1]); // /8 rounding
+    let delta = b.op(OpKind::Clip, &[r, c_lo, c_hi]);
+    let np0 = b.op(OpKind::Add, &[p0, delta]);
+    let nq0 = b.op(OpKind::Sub, &[q0, delta]);
+    let np0c = b.op(OpKind::Clip, &[np0, c_lo, c_hi]);
+    let _nq0c = b.op(OpKind::Clip, &[nq0, c_lo, c_hi]);
+    let _ = np0c;
+    b.finish().expect("static graph is valid")
+}
+
+/// 4-lane SAD data path: four absolute pixel differences reduced to one
+/// accumulator — pure word arithmetic.
+#[must_use]
+pub fn sad_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("sad4");
+    let acc = b.input();
+    let mut sums = Vec::new();
+    for _ in 0..4 {
+        let p = b.input();
+        let q = b.input();
+        let d = b.op(OpKind::Sub, &[p, q]);
+        sums.push(b.op(OpKind::Abs, &[d]));
+    }
+    let s01 = b.op(OpKind::Add, &[sums[0], sums[1]]);
+    let s23 = b.op(OpKind::Add, &[sums[2], sums[3]]);
+    let s = b.op(OpKind::Add, &[s01, s23]);
+    let _out = b.op(OpKind::Add, &[acc, s]);
+    b.finish().expect("static graph is valid")
+}
+
+/// SATD butterfly stage: Hadamard-transformed absolute differences.
+#[must_use]
+pub fn satd_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("satd4");
+    let x0 = b.input();
+    let x1 = b.input();
+    let x2 = b.input();
+    let x3 = b.input();
+    let a0 = b.op(OpKind::Add, &[x0, x1]);
+    let a1 = b.op(OpKind::Sub, &[x0, x1]);
+    let a2 = b.op(OpKind::Add, &[x2, x3]);
+    let a3 = b.op(OpKind::Sub, &[x2, x3]);
+    let b0 = b.op(OpKind::Add, &[a0, a2]);
+    let b1 = b.op(OpKind::Add, &[a1, a3]);
+    let m0 = b.op(OpKind::Abs, &[b0]);
+    let m1 = b.op(OpKind::Abs, &[b1]);
+    let _s = b.op(OpKind::Add, &[m0, m1]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Intra-prediction data path: neighbour averaging plus mode packing —
+/// mixed word/bit character.
+#[must_use]
+pub fn intra_pred_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("ipred");
+    let top = b.input();
+    let left = b.input();
+    let s = b.op(OpKind::Add, &[top, left]);
+    let avg = b.op(OpKind::Shr, &[s, top]);
+    let packed = b.op(OpKind::Pack, &[avg, left]);
+    let u = b.op(OpKind::Unpack, &[packed]);
+    let _c = b.op(OpKind::Cmp, &[u, avg]);
+    b.finish().expect("static graph is valid")
+}
+
+/// 4-point DCT butterfly (row pass).
+#[must_use]
+pub fn dct_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("dct4");
+    let x0 = b.input();
+    let x1 = b.input();
+    let x2 = b.input();
+    let x3 = b.input();
+    let s03 = b.op(OpKind::Add, &[x0, x3]);
+    let d03 = b.op(OpKind::Sub, &[x0, x3]);
+    let s12 = b.op(OpKind::Add, &[x1, x2]);
+    let d12 = b.op(OpKind::Sub, &[x1, x2]);
+    let y0 = b.op(OpKind::Add, &[s03, s12]);
+    let y2 = b.op(OpKind::Sub, &[s03, s12]);
+    let t = b.op(OpKind::Shl, &[d03, x0]);
+    let _y1 = b.op(OpKind::Add, &[t, d12]);
+    let _ = (y0, y2);
+    b.finish().expect("static graph is valid")
+}
+
+/// Inverse 4-point DCT butterfly.
+#[must_use]
+pub fn idct_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("idct4");
+    let y0 = b.input();
+    let y1 = b.input();
+    let y2 = b.input();
+    let y3 = b.input();
+    let e0 = b.op(OpKind::Add, &[y0, y2]);
+    let e1 = b.op(OpKind::Sub, &[y0, y2]);
+    let h = b.op(OpKind::Shr, &[y1, y3]);
+    let o0 = b.op(OpKind::Add, &[h, y3]);
+    let x0 = b.op(OpKind::Add, &[e0, o0]);
+    let x3 = b.op(OpKind::Sub, &[e0, o0]);
+    let _x1 = b.op(OpKind::Add, &[e1, h]);
+    let _ = (x0, x3);
+    b.finish().expect("static graph is valid")
+}
+
+/// Forward quantisation: scale, round, shift, sign handling.
+#[must_use]
+pub fn quant_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("quant");
+    let coef = b.input();
+    let scale = b.input();
+    let round = b.input();
+    let m = b.op(OpKind::Mul, &[coef, scale]);
+    let r = b.op(OpKind::Add, &[m, round]);
+    let q = b.op(OpKind::Shr, &[r, scale]);
+    let z = b.op(OpKind::Cmp, &[q, round]);
+    let _s = b.op(OpKind::Select, &[z, q, round]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Inverse quantisation.
+#[must_use]
+pub fn dequant_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("dequant");
+    let q = b.input();
+    let scale = b.input();
+    let m = b.op(OpKind::Mul, &[q, scale]);
+    let _s = b.op(OpKind::Shl, &[m, scale]);
+    b.finish().expect("static graph is valid")
+}
+
+/// 2×2 Hadamard of luma DC coefficients.
+#[must_use]
+pub fn hadamard_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("hadamard");
+    let d0 = b.input();
+    let d1 = b.input();
+    let d2 = b.input();
+    let d3 = b.input();
+    let s0 = b.op(OpKind::Add, &[d0, d1]);
+    let s1 = b.op(OpKind::Sub, &[d0, d1]);
+    let s2 = b.op(OpKind::Add, &[d2, d3]);
+    let _s3 = b.op(OpKind::Sub, &[d2, d3]);
+    let _t0 = b.op(OpKind::Add, &[s0, s2]);
+    let _ = s1;
+    b.finish().expect("static graph is valid")
+}
+
+/// Zig-zag scan reordering: pure byte shuffling — bit-level.
+#[must_use]
+pub fn zigzag_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("zigzag");
+    let w0 = b.input();
+    let w1 = b.input();
+    let s0 = b.op(OpKind::BitShuffle, &[w0, w1]);
+    let s1 = b.op(OpKind::BitShuffle, &[w1, w0]);
+    let _p = b.op(OpKind::Pack, &[s0, s1]);
+    b.finish().expect("static graph is valid")
+}
+
+/// CAVLC coefficient-token packing: population counts, table lookups and
+/// bit insertion — heavily bit-level (the FG fabric's home turf).
+#[must_use]
+pub fn cavlc_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("cavlc");
+    let coeffs = b.input();
+    let state = b.input();
+    let nz = b.op(OpKind::PopCount, &[coeffs]);
+    let t1 = b.op(OpKind::LutLookup, &[nz]);
+    let ext = b.op(OpKind::BitExtract, &[coeffs]);
+    let ins = b.op(OpKind::BitInsert, &[state, t1, ext]);
+    let _par = b.op(OpKind::Parity, &[ins]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Best-candidate tracking of the motion search: running minimum and
+/// early-termination compare — word-level.
+#[must_use]
+pub fn sad_reduce_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("sadmin");
+    let cur = b.input();
+    let best = b.input();
+    let thr = b.input();
+    let m = b.op(OpKind::Min, &[cur, best]);
+    let c = b.op(OpKind::Cmp, &[m, thr]);
+    let _s = b.op(OpKind::Select, &[c, m, best]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Absolute-sum stage of SATD.
+#[must_use]
+pub fn satd_sum_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("satdsum");
+    let x = b.input();
+    let y = b.input();
+    let acc = b.input();
+    let ax = b.op(OpKind::Abs, &[x]);
+    let ay = b.op(OpKind::Abs, &[y]);
+    let s = b.op(OpKind::Add, &[ax, ay]);
+    let t = b.op(OpKind::Add, &[s, acc]);
+    let _r = b.op(OpKind::Shr, &[t, x]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Intra-mode cost computation: SAD against the prediction plus mode-bit
+/// bookkeeping.
+#[must_use]
+pub fn ipred_cost_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("ipredcost");
+    let orig = b.input();
+    let pred = b.input();
+    let lambda = b.input();
+    let d = b.op(OpKind::Sub, &[orig, pred]);
+    let a = b.op(OpKind::Abs, &[d]);
+    let m = b.op(OpKind::Mac, &[a, lambda, pred]);
+    let _c = b.op(OpKind::Min, &[m, orig]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Column pass of the 4-point DCT.
+#[must_use]
+pub fn dct_col_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("dct4col");
+    let x0 = b.input();
+    let x1 = b.input();
+    let s = b.op(OpKind::Add, &[x0, x1]);
+    let d = b.op(OpKind::Sub, &[x0, x1]);
+    let t = b.op(OpKind::Shl, &[d, x0]);
+    let _y = b.op(OpKind::Add, &[t, s]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Reconstruction add-and-clip after the inverse transform.
+#[must_use]
+pub fn idct_recon_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("recon");
+    let res = b.input();
+    let pred = b.input();
+    let lo = b.input();
+    let hi = b.input();
+    let s = b.op(OpKind::Add, &[res, pred]);
+    let r = b.op(OpKind::Shr, &[s, res]);
+    let _c = b.op(OpKind::Clip, &[r, lo, hi]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Sign handling and dead-zone of the quantiser.
+#[must_use]
+pub fn quant_sign_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("qsign");
+    let coef = b.input();
+    let dz = b.input();
+    let a = b.op(OpKind::Abs, &[coef]);
+    let c = b.op(OpKind::Cmp, &[a, dz]);
+    let z = b.op(OpKind::Select, &[c, a, dz]);
+    let _x = b.op(OpKind::Xor, &[z, coef]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Saturating rescale stage of the dequantiser.
+#[must_use]
+pub fn dequant_sat_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("dqsat");
+    let q = b.input();
+    let lo = b.input();
+    let hi = b.input();
+    let s = b.op(OpKind::Shl, &[q, lo]);
+    let a = b.op(OpKind::Add, &[s, q]);
+    let _c = b.op(OpKind::Clip, &[a, lo, hi]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Second butterfly stage of the DC Hadamard.
+#[must_use]
+pub fn hadamard2_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("hadamard2");
+    let s0 = b.input();
+    let s1 = b.input();
+    let t0 = b.op(OpKind::Add, &[s0, s1]);
+    let t1 = b.op(OpKind::Sub, &[s0, s1]);
+    let _n = b.op(OpKind::Shr, &[t0, t1]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Run-length packing after the zig-zag scan — byte-level.
+#[must_use]
+pub fn zigzag_pack_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("zzpack");
+    let w = b.input();
+    let run = b.input();
+    let u = b.op(OpKind::Unpack, &[w]);
+    let m = b.op(OpKind::Mask, &[u, run]);
+    let _p = b.op(OpKind::Pack, &[m, run]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Exp-Golomb / level bit insertion of the entropy coder — bit-level.
+#[must_use]
+pub fn cavlc_bits_graph() -> DataPathGraph {
+    let mut b = DataPathGraph::builder("cavlcbits");
+    let level = b.input();
+    let stream = b.input();
+    let pos = b.input();
+    let lut = b.op(OpKind::LutLookup, &[level]);
+    let ins = b.op(OpKind::BitInsert, &[stream, lut, pos]);
+    let _sh = b.op(OpKind::BitShuffle, &[ins, pos]);
+    b.finish().expect("static graph is valid")
+}
+
+/// Constructs the encoder application (kernel specs + block structure).
+/// Every kernel exposes two data paths, so the compile-time tool chain
+/// enumerates up to 24 FG/CG/MG/partial variants per kernel — matching the
+/// paper's "cases where the number of ISEs may reach up to 60 for a single
+/// kernel" and the ">78 million combinations" for the biggest block.
+#[must_use]
+pub fn h264_application() -> Application {
+    let specs = vec![
+        KernelSpec::new("sad16")
+            .data_path(sad_graph(), 48)
+            .data_path(sad_reduce_graph(), 16)
+            .overhead_cycles(40),
+        KernelSpec::new("satd")
+            .data_path(satd_graph(), 24)
+            .data_path(satd_sum_graph(), 8)
+            .overhead_cycles(40),
+        KernelSpec::new("ipred")
+            .data_path(intra_pred_graph(), 16)
+            .data_path(ipred_cost_graph(), 8)
+            .overhead_cycles(50),
+        KernelSpec::new("dct4")
+            .data_path(dct_graph(), 8)
+            .data_path(dct_col_graph(), 8)
+            .overhead_cycles(30),
+        KernelSpec::new("idct4")
+            .data_path(idct_graph(), 8)
+            .data_path(idct_recon_graph(), 8)
+            .overhead_cycles(30),
+        KernelSpec::new("quant")
+            .data_path(quant_graph(), 16)
+            .data_path(quant_sign_graph(), 16)
+            .overhead_cycles(25),
+        KernelSpec::new("dequant")
+            .data_path(dequant_graph(), 16)
+            .data_path(dequant_sat_graph(), 16)
+            .overhead_cycles(25),
+        KernelSpec::new("hadamard")
+            .data_path(hadamard_graph(), 8)
+            .data_path(hadamard2_graph(), 8)
+            .overhead_cycles(20),
+        KernelSpec::new("zigzag")
+            .data_path(zigzag_graph(), 16)
+            .data_path(zigzag_pack_graph(), 16)
+            .overhead_cycles(25),
+        KernelSpec::new("cavlc")
+            .data_path(cavlc_graph(), 12)
+            .data_path(cavlc_bits_graph(), 12)
+            .overhead_cycles(40),
+        KernelSpec::new("deblock")
+            .data_path(deblock_condition_graph(), 16)
+            .data_path(deblock_filter_graph(), 16)
+            .overhead_cycles(50),
+    ];
+    let blocks = vec![
+        FunctionalBlock {
+            id: BlockId(0),
+            name: "motion_intra".into(),
+            kernels: vec![
+                H264Kernel::Sad16.id(),
+                H264Kernel::Satd.id(),
+                H264Kernel::IntraPred.id(),
+            ],
+        },
+        FunctionalBlock {
+            id: BlockId(1),
+            name: "transform_encode".into(),
+            kernels: vec![
+                H264Kernel::Dct4.id(),
+                H264Kernel::Idct4.id(),
+                H264Kernel::Quant.id(),
+                H264Kernel::Dequant.id(),
+                H264Kernel::Hadamard.id(),
+                H264Kernel::Zigzag.id(),
+                H264Kernel::Cavlc.id(),
+            ],
+        },
+        FunctionalBlock {
+            id: BlockId(2),
+            name: "loop_filter".into(),
+            kernels: vec![H264Kernel::Deblock.id()],
+        },
+    ];
+    Application::new("h264_encoder", specs, blocks)
+}
+
+/// The H.264 encoder workload model: application structure plus the
+/// frame-statistics → execution-count rules.
+///
+/// # Example
+///
+/// ```
+/// use mrts_workload::h264::H264Encoder;
+/// use mrts_workload::app::WorkloadModel;
+/// use mrts_workload::video::VideoModel;
+///
+/// let enc = H264Encoder::new();
+/// let frames = VideoModel::paper_default(1).frames();
+/// let counts = enc.kernel_executions(&frames[0]);
+/// assert_eq!(counts.len(), enc.application().kernel_count());
+/// assert!(counts.iter().all(|&c| c > 0));
+/// ```
+#[derive(Debug)]
+pub struct H264Encoder {
+    app: Application,
+}
+
+impl H264Encoder {
+    /// Creates the encoder model.
+    #[must_use]
+    pub fn new() -> Self {
+        H264Encoder {
+            app: h264_application(),
+        }
+    }
+
+    /// Number of deblocking-filter executions for one frame: 16 4×4-block
+    /// edges per macroblock, filtered only where the boundary strength is
+    /// non-zero (derived from edge strength; intra frames filter almost
+    /// everything).
+    #[must_use]
+    pub fn deblock_executions(&self, frame: &FrameStats) -> u64 {
+        let edges_per_mb = 20.0;
+        frame
+            .macroblocks
+            .iter()
+            .map(|mb| {
+                let bs_fraction = if frame.scene_change {
+                    0.9
+                } else {
+                    // Superlinear: calm content filters very few edges,
+                    // busy content most of them (drives Fig. 2's spread).
+                    (0.02 + 0.9 * mb.edge_strength.powf(1.8)).clamp(0.0, 1.0)
+                };
+                (edges_per_mb * bs_fraction).round() as u64
+            })
+            .sum()
+    }
+}
+
+impl Default for H264Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadModel for H264Encoder {
+    fn application(&self) -> &Application {
+        &self.app
+    }
+
+    fn kernel_executions(&self, frame: &FrameStats) -> Vec<u64> {
+        let mbs = frame.mb_count() as f64;
+        let motion = frame.mean_mv() / 16.0;
+        let residual = frame.mean_residual();
+        let texture = frame.texture;
+        let coded = 0.25 + 0.75 * residual; // coded-block fraction
+        let nonzero = 0.3 + 0.6 * residual; // nonzero-coefficient fraction
+
+        let sad = if frame.scene_change {
+            mbs * 8.0 // intra frame: only a skip check
+        } else {
+            mbs * (8.0 + 48.0 * motion)
+        };
+        let satd = mbs * (2.0 + 6.0 * texture);
+        let ipred = mbs * (3.0 + 9.0 * texture) * if frame.scene_change { 1.5 } else { 1.0 };
+        let dct = mbs * 16.0 * coded;
+        let quant = dct;
+        let dequant = dct;
+        let idct = dct;
+        let hadamard = mbs * 4.0;
+        let zigzag = dct * nonzero;
+        let cavlc = zigzag;
+        let deblock = self.deblock_executions(frame) as f64;
+
+        [
+            sad, satd, ipred, dct, idct, quant, dequant, hadamard, zigzag, cavlc, deblock,
+        ]
+        .iter()
+        .map(|c| c.round().max(1.0) as u64)
+        .collect()
+    }
+
+    fn kernel_gap(&self, kernel: KernelId) -> Cycles {
+        // Non-kernel work between consecutive executions: address
+        // generation, control flow, memory traffic. Derived from the
+        // kernel's role in the encoder pipeline.
+        let cycles = match kernel.index() {
+            0 => 150,        // sad16: tight search loop
+            1 => 300,        // satd
+            2 => 500,        // ipred: mode bookkeeping
+            3 | 4 => 250,    // dct/idct
+            5 | 6 => 200,    // quant/dequant
+            7 => 400,        // hadamard
+            8 => 220,        // zigzag
+            9 => 600,        // cavlc: bitstream bookkeeping
+            _ => 350,        // deblock: edge addressing
+        };
+        Cycles::new(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoModel;
+    use mrts_arch::ArchParams;
+
+    #[test]
+    fn application_structure_matches_paper() {
+        let app = h264_application();
+        assert_eq!(app.blocks().len(), 3, "three functional blocks");
+        let biggest = app.blocks().iter().map(|b| b.kernels.len()).max().unwrap();
+        assert!(biggest > 6, "biggest block has more than six kernels");
+        assert_eq!(app.kernel_count(), 11);
+    }
+
+    #[test]
+    fn catalog_builds_with_rich_variants() {
+        let app = h264_application();
+        let catalog = app
+            .build_catalog(ArchParams::default(), None)
+            .expect("catalog builds");
+        assert_eq!(catalog.kernels().len(), 11);
+        // The deblock kernel must offer FG-only, CG-only and MG variants
+        // (the paper's ISE-1 / ISE-2 / ISE-3).
+        let grains: Vec<_> = catalog
+            .ises_of(H264Kernel::Deblock.id())
+            .iter()
+            .map(|i| catalog.ise(*i).unwrap().grain())
+            .collect();
+        use mrts_ise::Grain;
+        assert!(grains.contains(&Grain::FineGrained));
+        assert!(grains.contains(&Grain::CoarseGrained));
+        assert!(grains.contains(&Grain::MultiGrained));
+    }
+
+    #[test]
+    fn deblock_counts_track_content() {
+        let enc = H264Encoder::new();
+        let frames = VideoModel::paper_default(1).frames();
+        // Fast-pan scene (frames 4..8) filters more edges than the static
+        // scene (frames 0..4); compare non-intra frames.
+        let calm = enc.deblock_executions(&frames[2]);
+        let busy = enc.deblock_executions(&frames[6]);
+        assert!(busy > calm, "busy {busy} should exceed calm {calm}");
+        // Counts must land in the Fig. 2 order of magnitude (CIF).
+        for f in &frames {
+            let e = enc.deblock_executions(f);
+            assert!((400..=8_000).contains(&e), "deblock count {e} out of range");
+        }
+    }
+
+    #[test]
+    fn counts_vary_frame_to_frame() {
+        let enc = H264Encoder::new();
+        let frames = VideoModel::paper_default(1).frames();
+        let counts: Vec<u64> = frames
+            .iter()
+            .map(|f| enc.kernel_executions(f)[H264Kernel::Deblock.id().index() as usize])
+            .collect();
+        let distinct: std::collections::BTreeSet<u64> = counts.iter().copied().collect();
+        assert!(
+            distinct.len() > 8,
+            "per-frame deblock counts should fluctuate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn scene_change_boosts_intra_work() {
+        let enc = H264Encoder::new();
+        let frames = VideoModel::paper_default(1).frames();
+        let intra = &frames[4]; // scene change
+        let inter = &frames[5];
+        let ci = enc.kernel_executions(intra);
+        let cp = enc.kernel_executions(inter);
+        let ipred = H264Kernel::IntraPred.id().index() as usize;
+        let sad = H264Kernel::Sad16.id().index() as usize;
+        assert!(ci[ipred] > cp[ipred], "intra frame does more prediction");
+        assert!(ci[sad] < cp[sad], "intra frame does less motion search");
+    }
+
+    #[test]
+    fn gaps_are_positive_for_all_kernels() {
+        let enc = H264Encoder::new();
+        for k in 0..enc.application().kernel_count() {
+            assert!(enc.kernel_gap(KernelId(k as u16)).get() > 0);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # mrts-workload — applications and input-dependent execution traces
+//!
+//! The paper evaluates mRTS on a complete H.264 video encoder because it
+//! *"is a complex application and exhibits various compute-intensive
+//! kernels with both control- and data-flow dominant processing"*. This
+//! crate provides:
+//!
+//! * [`video`] — a synthetic, seeded video model standing in for the real
+//!   sequences (scene structure, per-macroblock features),
+//! * [`app`] — the application/functional-block structure and the
+//!   [`app::WorkloadModel`] trait,
+//! * [`h264`] — the encoder-shaped application of the evaluation: three
+//!   functional blocks, eleven kernels, the Section 2 deblocking-filter
+//!   case study included,
+//! * [`apps`] — a data-dominant FFT pipeline and a control-dominant stream
+//!   cipher for generality checks,
+//! * [`trace`] — block-activation traces with compile-time forecasts vs.
+//!   input-dependent actual behaviour, and
+//! * [`synthetic`] — step/ramp/burst patterns for targeted tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use mrts_workload::h264::H264Encoder;
+//! use mrts_workload::trace::TraceBuilder;
+//! use mrts_workload::video::VideoModel;
+//! use mrts_workload::app::WorkloadModel;
+//!
+//! let encoder = H264Encoder::new();
+//! let trace = TraceBuilder::new(&encoder)
+//!     .video(VideoModel::paper_default(42))
+//!     .build();
+//! assert_eq!(trace.len(), 48); // 16 frames x 3 functional blocks
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod apps;
+pub mod h264;
+pub mod synthetic;
+pub mod trace;
+pub mod video;
+
+pub use app::{Application, FunctionalBlock, MergedWorkload, WorkloadModel};
+pub use trace::{BlockActivation, KernelActivity, Trace, TraceBuilder};
+pub use video::{Scene, VideoModel};

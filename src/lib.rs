@@ -1,0 +1,17 @@
+//! # mrts — facade crate
+//!
+//! Re-exports every member crate of the mRTS reproduction under one name so
+//! that examples and downstream users can write `use mrts::core::Mrts;`
+//! instead of depending on six crates individually.
+//!
+//! See the repository README and DESIGN.md for the architecture overview,
+//! and [`mrts_core`] for the run-time system itself.
+
+#![forbid(unsafe_code)]
+
+pub use mrts_arch as arch;
+pub use mrts_baselines as baselines;
+pub use mrts_core as core;
+pub use mrts_ise as ise;
+pub use mrts_sim as sim;
+pub use mrts_workload as workload;

@@ -1,0 +1,161 @@
+//! Robustness of the simulation engine against misbehaving policies: wrong
+//! ISE ids, foreign kernels, monoCG requests without an extension,
+//! over-subscribed load plans. The engine must degrade every bad decision
+//! to RISC-mode (or count a rejected load) — never panic, never corrupt
+//! the statistics — plus a longer soak run for time monotonicity.
+
+use mrts::arch::{ArchParams, Cycles, Machine, Resources};
+use mrts::core::Mrts;
+use mrts::ise::{IseId, KernelId, UnitId};
+use mrts::sim::{
+    BlockPlan, ExecClass, ExecContext, ExecMode, ExecPlan, RuntimePolicy, SelectionContext,
+    Simulator,
+};
+use mrts::workload::synthetic::{synthetic_trace, Pattern, ToyApp};
+use mrts::workload::{Scene, TraceBuilder, VideoModel, WorkloadModel};
+
+fn setup() -> (mrts::ise::IseCatalog, mrts::workload::Trace) {
+    let toy = ToyApp::new();
+    let catalog = toy
+        .application()
+        .build_catalog(ArchParams::default(), None)
+        .expect("toy kernels are mappable");
+    let trace = synthetic_trace(&toy, &[Pattern::Constant(300)], 3);
+    (catalog, trace)
+}
+
+fn machine() -> Machine {
+    Machine::new(ArchParams::default(), Resources::new(1, 1)).expect("valid machine")
+}
+
+/// A policy whose answers are deliberately wrong.
+struct Liar {
+    mode: ExecMode,
+    load_garbage: bool,
+}
+
+impl RuntimePolicy for Liar {
+    fn name(&self) -> String {
+        "liar".into()
+    }
+
+    fn plan_block(&mut self, ctx: &SelectionContext<'_>) -> BlockPlan {
+        let load_order = if self.load_garbage {
+            // Ask for far more units than the machine has slots: the
+            // engine must count rejections and continue.
+            ctx.catalog.units().iter().map(|u| u.id()).collect()
+        } else {
+            Vec::new()
+        };
+        BlockPlan {
+            selections: ctx.forecast.iter().map(|t| (t.kernel, None)).collect(),
+            evict: vec![UnitId(9_999_999)], // nonexistent: must be ignored
+            load_order,
+            overhead: Cycles::ZERO,
+        }
+    }
+
+    fn plan_execution(
+        &mut self,
+        _kernel: KernelId,
+        _selected: Option<IseId>,
+        _ctx: &ExecContext<'_>,
+    ) -> ExecPlan {
+        ExecPlan {
+            mode: self.mode,
+            install_mono: true, // spam mono requests regardless
+        }
+    }
+}
+
+#[test]
+fn wrong_ise_id_degrades_to_risc() {
+    let (catalog, trace) = setup();
+    let stats = Simulator::run(
+        &catalog,
+        machine(),
+        &trace,
+        &mut Liar {
+            mode: ExecMode::Ise(IseId(u32::MAX)),
+            load_garbage: false,
+        },
+    );
+    assert_eq!(stats.total_executions(), 900);
+    // An unknown ISE can never accelerate; mono may still bridge (the
+    // spammed install_mono is legitimate ECU behaviour).
+    let h = stats.class_histogram();
+    assert_eq!(h.get(&ExecClass::FullIse), None);
+    assert_eq!(h.get(&ExecClass::IntermediateIse), None);
+}
+
+#[test]
+fn mono_mode_without_resident_mono_degrades_to_risc() {
+    let (catalog, trace) = setup();
+    // Machine without CG fabric: install_mono can never succeed.
+    let machine = Machine::new(ArchParams::default(), Resources::new(0, 1)).expect("valid");
+    let stats = Simulator::run(
+        &catalog,
+        machine,
+        &trace,
+        &mut Liar {
+            mode: ExecMode::MonoCg,
+            load_garbage: false,
+        },
+    );
+    let h = stats.class_histogram();
+    assert_eq!(h.get(&ExecClass::RiscMode), Some(&900));
+}
+
+#[test]
+fn oversubscribed_load_plan_counts_rejections() {
+    let (catalog, trace) = setup();
+    let stats = Simulator::run(
+        &catalog,
+        machine(),
+        &trace,
+        &mut Liar {
+            mode: ExecMode::Risc,
+            load_garbage: true,
+        },
+    );
+    assert!(stats.rejected_loads > 0);
+    assert_eq!(stats.total_executions(), 900);
+}
+
+#[test]
+fn soak_long_video_is_stable_and_monotonic() {
+    // 64 frames of alternating scenes through the full encoder pipeline.
+    let encoder = mrts::workload::h264::H264Encoder::new();
+    let catalog = encoder
+        .application()
+        .build_catalog(ArchParams::default(), None)
+        .expect("encoder kernels are mappable");
+    let video = VideoModel::builder(22, 18)
+        .scene(Scene::new(16, 0.1, 0.3))
+        .scene(Scene::new(16, 0.9, 0.8))
+        .scene(Scene::new(16, 0.4, 0.2))
+        .scene(Scene::new(16, 0.7, 0.9))
+        .seed(99)
+        .build();
+    let trace = TraceBuilder::new(&encoder).video(video).build();
+    assert_eq!(trace.len(), 64 * 3);
+
+    let machine = Machine::new(ArchParams::default(), Resources::new(2, 2)).expect("valid");
+    let mut sim = Simulator::new(&catalog, machine);
+    let stats = sim.run_trace(&trace, &mut Mrts::new());
+    assert_eq!(stats.blocks.len(), 192);
+    assert_eq!(stats.rejected_loads, 0);
+    // Block timings are sane: every makespan covers its busy share of the
+    // slowest kernel and the simulation clock moved far forward.
+    for b in &stats.blocks {
+        assert!(b.makespan >= b.selection_overhead);
+    }
+    assert!(sim.now().get() > 100_000_000, "clock advanced: {}", sim.now());
+    // Executions match the trace exactly.
+    let expected: u64 = trace
+        .activations()
+        .iter()
+        .flat_map(|a| a.actual.iter().map(|k| k.executions))
+        .sum();
+    assert_eq!(stats.total_executions(), expected);
+}
