@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one CG-EDPE.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdpeId(pub u16);
 
 impl fmt::Display for EdpeId {
@@ -149,6 +147,9 @@ pub enum EdpeState {
         /// The kernel-scoped identifier of the extension.
         id: LoadedId,
     },
+    /// The context slot suffered a permanent hardware fault and can never
+    /// be loaded again. It counts toward neither free nor usable capacity.
+    Failed,
 }
 
 /// One coarse-grained elementary data-path element.
@@ -188,10 +189,16 @@ impl CgEdpe {
         &self.context
     }
 
-    /// Whether the element is free.
+    /// Whether the element is free. `Failed` elements are **not** free.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         matches!(self.state, EdpeState::Empty)
+    }
+
+    /// Whether the element is permanently failed.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self.state, EdpeState::Failed)
     }
 
     /// Returns the resident artefact (data path or monoCG) usable at `now`.
@@ -293,6 +300,22 @@ impl CgFabric {
         self.edpes.iter().filter(|e| e.is_empty()).count() as u16
     }
 
+    /// Number of context slots permanently failed.
+    #[must_use]
+    pub fn failed_count(&self) -> u16 {
+        self.edpes.iter().filter(|e| e.is_failed()).count() as u16
+    }
+
+    /// Marks the first empty context slot as permanently failed (the target
+    /// of a fatal load attempt). Returns the victim, or `None` if no slot
+    /// is empty.
+    pub fn fail_one_empty(&mut self) -> Option<EdpeId> {
+        let e = self.edpes.iter_mut().find(|e| e.is_empty())?;
+        e.state = EdpeState::Failed;
+        e.context.clear();
+        Some(e.id)
+    }
+
     /// Iterates over the elements.
     pub fn iter(&self) -> impl Iterator<Item = &CgEdpe> {
         self.edpes.iter()
@@ -337,7 +360,7 @@ impl CgFabric {
                 EdpeState::Loaded { id: l }
                 | EdpeState::Loading { id: l, .. }
                 | EdpeState::MonoCg { id: l } => l == id,
-                EdpeState::Empty => false,
+                EdpeState::Empty | EdpeState::Failed => false,
             };
             if holds {
                 e.state = EdpeState::Empty;
@@ -350,11 +373,14 @@ impl CgFabric {
         )))
     }
 
-    /// Clears the whole fabric.
+    /// Clears the whole fabric. Permanently failed slots stay failed —
+    /// hardware damage survives block boundaries.
     pub fn evict_all(&mut self) {
         for e in &mut self.edpes {
-            e.state = EdpeState::Empty;
-            e.context.clear();
+            if !e.is_failed() {
+                e.state = EdpeState::Empty;
+                e.context.clear();
+            }
         }
     }
 
@@ -459,6 +485,20 @@ mod tests {
     fn evict_unknown_errors() {
         let mut cg = fabric(1);
         assert!(cg.evict(9).is_err());
+    }
+
+    #[test]
+    fn failed_slot_is_neither_free_nor_loadable() {
+        let mut cg = fabric(2);
+        let victim = cg.fail_one_empty().expect("one empty");
+        assert_eq!(victim, EdpeId(0));
+        assert_eq!(cg.free_count(), 1);
+        assert_eq!(cg.failed_count(), 1);
+        assert!(cg.begin_load(1, Cycles::ZERO).is_some());
+        assert!(cg.begin_load(2, Cycles::ZERO).is_none());
+        cg.evict_all();
+        assert_eq!(cg.free_count(), 1);
+        assert_eq!(cg.failed_count(), 1);
     }
 
     #[test]

@@ -90,17 +90,7 @@ impl fmt::Display for Frequency {
 /// assert_eq!(a * 3, Cycles::new(3_000));
 /// ```
 #[derive(
-    Debug,
-    Default,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Serialize,
-    Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
 )]
 pub struct Cycles(u64);
 

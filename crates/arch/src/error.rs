@@ -1,5 +1,6 @@
 //! Error type for hardware-model construction and resource management.
 
+use crate::fault::LoadFault;
 use crate::resources::Resources;
 use std::error::Error;
 use std::fmt;
@@ -24,6 +25,11 @@ pub enum ArchError {
     /// An operation addressed a fabric element in the wrong state
     /// (e.g. freeing an empty PRC).
     InvalidState(String),
+    /// A configuration load was hit by an injected fault (CRC error or
+    /// permanent container failure). The payload records the fabric, the
+    /// configuration-port time wasted, and the earliest cycle at which a
+    /// retry can be admitted.
+    LoadFault(LoadFault),
 }
 
 impl fmt::Display for ArchError {
@@ -40,6 +46,7 @@ impl fmt::Display for ArchError {
             ArchError::UnknownPrc(id) => write!(f, "unknown PRC index {id}"),
             ArchError::UnknownEdpe(id) => write!(f, "unknown CG-EDPE index {id}"),
             ArchError::InvalidState(msg) => write!(f, "invalid fabric state: {msg}"),
+            ArchError::LoadFault(fault) => write!(f, "load fault: {fault}"),
         }
     }
 }

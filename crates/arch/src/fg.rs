@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one Partially Reconfigurable Container.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PrcId(pub u16);
 
 impl fmt::Display for PrcId {
@@ -46,6 +44,9 @@ pub enum PrcState {
         /// What is loaded.
         id: LoadedId,
     },
+    /// The container suffered a permanent hardware fault and can never be
+    /// loaded again. It counts toward neither free nor usable capacity.
+    Failed,
 }
 
 /// One Partially Reconfigurable Container.
@@ -78,9 +79,16 @@ impl Prc {
     }
 
     /// Whether the container holds no (complete or in-flight) data path.
+    /// `Failed` containers are **not** empty: they can never be loaded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         matches!(self.state, PrcState::Empty)
+    }
+
+    /// Whether the container is permanently failed.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self.state, PrcState::Failed)
     }
 
     /// Returns the resident data path if fully loaded **and** `now` has
@@ -139,10 +147,25 @@ impl FgFabric {
         self.prcs.is_empty()
     }
 
-    /// Number of PRCs currently empty (not loaded, not loading).
+    /// Number of PRCs currently empty (not loaded, not loading, not failed).
     #[must_use]
     pub fn free_count(&self) -> u16 {
         self.prcs.iter().filter(|p| p.is_empty()).count() as u16
+    }
+
+    /// Number of PRCs permanently failed.
+    #[must_use]
+    pub fn failed_count(&self) -> u16 {
+        self.prcs.iter().filter(|p| p.is_failed()).count() as u16
+    }
+
+    /// Marks the first empty PRC as permanently failed (the target of a
+    /// fatal load attempt). Returns the victim, or `None` if no PRC is
+    /// empty.
+    pub fn fail_one_empty(&mut self) -> Option<PrcId> {
+        let prc = self.prcs.iter_mut().find(|p| p.is_empty())?;
+        prc.state = PrcState::Failed;
+        Some(prc.id)
     }
 
     /// Iterates over the containers.
@@ -180,7 +203,7 @@ impl FgFabric {
         for p in &mut self.prcs {
             let holds = match p.state {
                 PrcState::Loaded { id: l } | PrcState::Loading { id: l, .. } => l == id,
-                PrcState::Empty => false,
+                PrcState::Empty | PrcState::Failed => false,
             };
             if holds {
                 p.state = PrcState::Empty;
@@ -193,10 +216,13 @@ impl FgFabric {
     }
 
     /// Clears the whole fabric (used when a functional block ends and the
-    /// scenario reclaims fabric for other tasks).
+    /// scenario reclaims fabric for other tasks). Permanently failed
+    /// containers stay failed — hardware damage survives block boundaries.
     pub fn evict_all(&mut self) {
         for p in &mut self.prcs {
-            p.state = PrcState::Empty;
+            if !p.is_failed() {
+                p.state = PrcState::Empty;
+            }
         }
     }
 
@@ -273,6 +299,23 @@ mod tests {
         fg.begin_load(9, Cycles::ZERO).unwrap();
         fg.begin_load(3, Cycles::ZERO).unwrap();
         assert_eq!(fg.resident_ids(Cycles::new(1)), vec![3, 9]);
+    }
+
+    #[test]
+    fn failed_prc_is_neither_free_nor_loadable() {
+        let mut fg = FgFabric::new(2);
+        let victim = fg.fail_one_empty().expect("one empty");
+        assert_eq!(victim, PrcId(0));
+        assert_eq!(fg.free_count(), 1);
+        assert_eq!(fg.failed_count(), 1);
+        // Only one container left to load into.
+        assert!(fg.begin_load(1, Cycles::ZERO).is_some());
+        assert!(fg.begin_load(2, Cycles::ZERO).is_none());
+        // evict_all keeps the hardware damage.
+        fg.evict_all();
+        assert_eq!(fg.free_count(), 1);
+        assert_eq!(fg.failed_count(), 1);
+        assert!(fg.evict(1).is_err());
     }
 
     #[test]

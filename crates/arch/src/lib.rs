@@ -45,6 +45,7 @@
 pub mod cg;
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod fg;
 pub mod machine;
 pub mod params;
@@ -55,6 +56,7 @@ pub mod scratchpad;
 pub use cg::{CgEdpe, CgFabric, ContextMemory, EdpeId, EdpeState, OpClass};
 pub use clock::{ClockDomain, Cycles, Frequency};
 pub use error::ArchError;
+pub use fault::{FaultKind, FaultModel, LoadFault};
 pub use fg::{FgFabric, Prc, PrcId, PrcState};
 pub use machine::Machine;
 pub use params::ArchParams;

@@ -4,6 +4,7 @@
 use crate::cg::CgFabric;
 use crate::clock::Cycles;
 use crate::error::ArchError;
+use crate::fault::{FaultKind, FaultModel, LoadFault};
 use crate::fg::{FgFabric, LoadedId};
 use crate::params::ArchParams;
 use crate::reconfig::{FabricKind, LoadRequest, LoadTicket, ReconfigurationController};
@@ -40,6 +41,10 @@ pub struct Machine {
     fg: FgFabric,
     cg: CgFabric,
     controller: ReconfigurationController,
+    /// Injected-fault source; [`FaultModel::none`] by default, in which
+    /// case the machine behaves bit-identically to the fault-free model.
+    #[serde(default)]
+    fault_model: FaultModel,
 }
 
 impl Machine {
@@ -56,7 +61,41 @@ impl Machine {
             budget,
             params,
             controller: ReconfigurationController::new(),
+            fault_model: FaultModel::none(),
         })
+    }
+
+    /// Builds a machine with an injected-fault source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParams`] if `params` is inconsistent.
+    pub fn with_fault_model(
+        params: ArchParams,
+        budget: Resources,
+        fault_model: FaultModel,
+    ) -> Result<Self, ArchError> {
+        let mut m = Machine::new(params, budget)?;
+        m.fault_model = fault_model;
+        Ok(m)
+    }
+
+    /// The fault model.
+    #[must_use]
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.fault_model
+    }
+
+    /// Replaces the fault model (e.g. to arm faults on an existing machine).
+    pub fn set_fault_model(&mut self, fault_model: FaultModel) {
+        self.fault_model = fault_model;
+    }
+
+    /// Samples the index of the first transiently-faulted execution in a
+    /// batch of `n` accelerated executions (see
+    /// [`FaultModel::first_exec_fault`]).
+    pub fn exec_fault_in_batch(&mut self, n: u64) -> Option<u64> {
+        self.fault_model.first_exec_fault(n)
     }
 
     /// The architecture parameters.
@@ -74,10 +113,20 @@ impl Machine {
 
     /// Total allocatable capacity in *slot* units: CG **context slots**
     /// (EDPEs × contexts per EDPE) and PRCs. This is the denomination every
-    /// policy-facing `Resources` value uses.
+    /// policy-facing `Resources` value uses. Permanently failed containers
+    /// are excluded — capacity shrinks as the hardware degrades.
     #[must_use]
     pub fn capacity(&self) -> Resources {
-        Resources::new(self.cg.len() as u16, self.fg.len() as u16)
+        Resources::new(
+            (self.cg.len() as u16).saturating_sub(self.cg.failed_count()),
+            (self.fg.len() as u16).saturating_sub(self.fg.failed_count()),
+        )
+    }
+
+    /// Containers lost to permanent faults, in slot units.
+    #[must_use]
+    pub fn failed_resources(&self) -> Resources {
+        Resources::new(self.cg.failed_count(), self.fg.failed_count())
     }
 
     /// Currently free fabric in slot units, the `N_CG` / `N_PRC` inputs of
@@ -106,12 +155,54 @@ impl Machine {
         &self.controller
     }
 
+    /// Charges a faulted load to the configuration port, optionally killing
+    /// the target container, and builds the resulting error.
+    fn faulted_load(
+        &mut self,
+        now: Cycles,
+        id: LoadedId,
+        fabric: FabricKind,
+        duration: Cycles,
+        kind: FaultKind,
+    ) -> ArchError {
+        let ticket = self.controller.request_wasted(
+            now,
+            LoadRequest {
+                id,
+                fabric,
+                duration,
+            },
+        );
+        if kind == FaultKind::PermanentContainer {
+            match fabric {
+                FabricKind::FineGrained => {
+                    self.fg
+                        .fail_one_empty()
+                        .expect("free PRC checked by caller");
+                }
+                FabricKind::CoarseGrained => {
+                    self.cg
+                        .fail_one_empty()
+                        .expect("free EDPE checked by caller");
+                }
+            }
+        }
+        ArchError::LoadFault(LoadFault {
+            kind,
+            fabric,
+            wasted: ticket.ready_at - ticket.starts_at,
+            retry_at: ticket.ready_at,
+        })
+    }
+
     /// Starts loading an FG data path (bitstream of `bitstream_bytes`) into a
     /// free PRC at time `now`.
     ///
     /// # Errors
     ///
-    /// Returns [`ArchError::InsufficientResources`] if no PRC is free.
+    /// Returns [`ArchError::InsufficientResources`] if no PRC is free, or
+    /// [`ArchError::LoadFault`] if the fault model injects a CRC or
+    /// permanent-container fault into this attempt.
     pub fn load_fg(
         &mut self,
         now: Cycles,
@@ -124,12 +215,16 @@ impl Machine {
                 available: self.free_resources(),
             });
         }
+        let duration = self.params.fg_reconfig_time(bitstream_bytes);
+        if let Some(kind) = self.fault_model.next_load_fault() {
+            return Err(self.faulted_load(now, id, FabricKind::FineGrained, duration, kind));
+        }
         let ticket = self.controller.request(
             now,
             LoadRequest {
                 id,
                 fabric: FabricKind::FineGrained,
-                duration: self.params.fg_reconfig_time(bitstream_bytes),
+                duration,
             },
         );
         self.fg
@@ -143,7 +238,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`ArchError::InsufficientResources`] if no EDPE is free.
+    /// Returns [`ArchError::InsufficientResources`] if no EDPE is free, or
+    /// [`ArchError::LoadFault`] on an injected fault.
     pub fn load_cg(
         &mut self,
         now: Cycles,
@@ -156,12 +252,16 @@ impl Machine {
                 available: self.free_resources(),
             });
         }
+        let duration = self.params.cg_reconfig_time(instrs);
+        if let Some(kind) = self.fault_model.next_load_fault() {
+            return Err(self.faulted_load(now, id, FabricKind::CoarseGrained, duration, kind));
+        }
         let ticket = self.controller.request(
             now,
             LoadRequest {
                 id,
                 fabric: FabricKind::CoarseGrained,
-                duration: self.params.cg_reconfig_time(instrs),
+                duration,
             },
         );
         self.cg
@@ -176,7 +276,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`ArchError::InsufficientResources`] if no EDPE is free.
+    /// Returns [`ArchError::InsufficientResources`] if no EDPE is free, or
+    /// [`ArchError::LoadFault`] on an injected fault.
     pub fn load_mono_cg(
         &mut self,
         now: Cycles,
@@ -189,12 +290,16 @@ impl Machine {
                 available: self.free_resources(),
             });
         }
+        let duration = self.params.cg_reconfig_time(instrs);
+        if let Some(kind) = self.fault_model.next_load_fault() {
+            return Err(self.faulted_load(now, id, FabricKind::CoarseGrained, duration, kind));
+        }
         let ticket = self.controller.request(
             now,
             LoadRequest {
                 id,
                 fabric: FabricKind::CoarseGrained,
-                duration: self.params.cg_reconfig_time(instrs),
+                duration,
             },
         );
         self.cg
@@ -342,6 +447,60 @@ mod tests {
         // The streaming load still completes on schedule.
         assert!(m.is_resident(1, a.ready_at));
         assert!(!m.is_resident(2, Cycles::MAX));
+    }
+
+    #[test]
+    fn crc_fault_wastes_port_time_but_leaves_prc_empty() {
+        let mut m = machine(1, 1);
+        m.set_fault_model(FaultModel::with_rates(1.0, 0.0, 0.0, 3));
+        let err = m.load_fg(Cycles::ZERO, 7, 81_100).unwrap_err();
+        let ArchError::LoadFault(fault) = err else {
+            panic!("expected LoadFault, got {err:?}");
+        };
+        assert_eq!(fault.kind, FaultKind::BitstreamCrc);
+        assert_eq!(fault.fabric, FabricKind::FineGrained);
+        assert!(fault.wasted > Cycles::ZERO);
+        // The PRC is still free, but the port is busy until retry_at.
+        assert_eq!(m.free_resources(), Resources::new(1, 1));
+        assert_eq!(
+            m.controller().port_free_at(FabricKind::FineGrained),
+            fault.retry_at
+        );
+        // A retry queues behind the wasted transfer.
+        m.set_fault_model(FaultModel::none());
+        let t = m.load_fg(Cycles::ZERO, 7, 81_100).unwrap();
+        assert_eq!(t.starts_at, fault.retry_at);
+    }
+
+    #[test]
+    fn permanent_fault_kills_the_container() {
+        let mut m = machine(1, 2);
+        m.set_fault_model(FaultModel::with_rates(0.0, 0.0, 1.0, 3));
+        let err = m.load_fg(Cycles::ZERO, 7, 81_100).unwrap_err();
+        assert!(matches!(
+            err,
+            ArchError::LoadFault(LoadFault {
+                kind: FaultKind::PermanentContainer,
+                ..
+            })
+        ));
+        assert_eq!(m.capacity(), Resources::new(1, 1));
+        assert_eq!(m.free_resources(), Resources::new(1, 1));
+        assert_eq!(m.failed_resources(), Resources::new(0, 1));
+        // Damage survives a reset.
+        m.reset();
+        assert_eq!(m.capacity(), Resources::new(1, 1));
+    }
+
+    #[test]
+    fn zero_rate_model_changes_nothing() {
+        let mut plain = machine(2, 2);
+        let mut armed = machine(2, 2);
+        armed.set_fault_model(FaultModel::new(0.0, 42));
+        let a = plain.load_fg(Cycles::ZERO, 1, 81_100).unwrap();
+        let b = armed.load_fg(Cycles::ZERO, 1, 81_100).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(armed.fault_model().draws(), 0);
     }
 
     #[test]

@@ -373,7 +373,10 @@ mod tests {
     #[test]
     fn cg_reconfig_scales_with_program_length() {
         let p = ArchParams::default();
-        assert_eq!(p.cg_reconfig_time(16).get() * 2, p.cg_reconfig_time(32).get());
+        assert_eq!(
+            p.cg_reconfig_time(16).get() * 2,
+            p.cg_reconfig_time(32).get()
+        );
         assert_eq!(p.cg_reconfig_time(0), Cycles::ZERO);
     }
 }

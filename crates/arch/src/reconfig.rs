@@ -161,6 +161,17 @@ impl ReconfigurationController {
         self.port_mut(req.fabric).admit(now, req)
     }
 
+    /// Admits a load whose payload is known to be discarded (an injected
+    /// CRC / permanent fault): the port is occupied for the full transfer —
+    /// the streaming time is genuinely wasted — but no in-flight ticket is
+    /// tracked, since the artefact never becomes resident.
+    pub fn request_wasted(&mut self, now: Cycles, req: LoadRequest) -> LoadTicket {
+        let port = self.port_mut(req.fabric);
+        let ticket = port.admit(now, req);
+        port.inflight.pop_back();
+        ticket
+    }
+
     /// Predicts, **without mutating the schedule**, the completion times of a
     /// whole batch of requests issued back-to-back at `now`. This is what
     /// the profit function uses to evaluate a candidate ISE's `recT(ISE_i)`

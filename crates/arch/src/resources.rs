@@ -24,17 +24,7 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// assert_eq!(budget - demand, Resources::new(1, 1));
 /// ```
 #[derive(
-    Debug,
-    Default,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    Serialize,
-    Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
 )]
 pub struct Resources {
     cg: u16,
@@ -229,9 +219,13 @@ mod tests {
 
     #[test]
     fn sum_accumulates() {
-        let total: Resources = [Resources::new(1, 0), Resources::new(0, 2), Resources::new(1, 1)]
-            .into_iter()
-            .sum();
+        let total: Resources = [
+            Resources::new(1, 0),
+            Resources::new(0, 2),
+            Resources::new(1, 1),
+        ]
+        .into_iter()
+        .sum();
         assert_eq!(total, Resources::new(2, 3));
     }
 

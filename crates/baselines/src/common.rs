@@ -153,12 +153,7 @@ mod tests {
             .id();
         let evictable = vec![cg_unit, fg_unit];
         // Need 1 CG, have 0 free: only the CG unit must be evicted.
-        let out = eviction_list(
-            &catalog,
-            Resources::cg_only(1),
-            Resources::NONE,
-            &evictable,
-        );
+        let out = eviction_list(&catalog, Resources::cg_only(1), Resources::NONE, &evictable);
         assert_eq!(out, vec![cg_unit]);
         // Nothing needed: nothing evicted.
         assert!(eviction_list(&catalog, Resources::NONE, Resources::NONE, &evictable).is_empty());

@@ -113,11 +113,7 @@ impl StaticSelection {
         }
     }
 
-    fn plan_execution(
-        &self,
-        selected: Option<IseId>,
-        ctx: &ExecContext<'_>,
-    ) -> ExecPlan {
+    fn plan_execution(&self, selected: Option<IseId>, ctx: &ExecContext<'_>) -> ExecPlan {
         let Some(id) = selected else {
             return ExecPlan::risc();
         };

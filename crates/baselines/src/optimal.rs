@@ -128,7 +128,9 @@ pub fn dp_optimal_selection(
             let ise = catalog.ise(*id).expect("dense ids");
             for s in ise.stages() {
                 if !resident(s.unit)
-                    && controller.pending_ready_time(s.unit.as_loaded_id()).is_none()
+                    && controller
+                        .pending_ready_time(s.unit.as_loaded_id())
+                        .is_none()
                 {
                     load_order.push(s.unit);
                 }
@@ -155,7 +157,10 @@ fn new_demand(
     ise.stages()
         .iter()
         .filter(|s| {
-            !resident(s.unit) && controller.pending_ready_time(s.unit.as_loaded_id()).is_none()
+            !resident(s.unit)
+                && controller
+                    .pending_ready_time(s.unit.as_loaded_id())
+                    .is_none()
         })
         .map(|s| catalog.unit(s.unit).resources())
         .sum()
@@ -309,12 +314,7 @@ impl RuntimePolicy for OnlineOptimalPolicy {
             .iter()
             .map(|u| ctx.catalog.unit(*u).resources())
             .sum();
-        let evict = eviction_list(
-            ctx.catalog,
-            need,
-            ctx.machine.free_resources(),
-            &evictable,
-        );
+        let evict = eviction_list(ctx.catalog, need, ctx.machine.free_resources(), &evictable);
         BlockPlan {
             selections: selection.choices,
             evict,

@@ -105,12 +105,7 @@ impl RuntimePolicy for RisppPolicy {
             .iter()
             .map(|u| ctx.catalog.unit(*u).resources())
             .sum();
-        let evict = eviction_list(
-            ctx.catalog,
-            need,
-            ctx.machine.free_resources(),
-            &evictable,
-        );
+        let evict = eviction_list(ctx.catalog, need, ctx.machine.free_resources(), &evictable);
         // RISPP's decision cost is comparable to mRTS's (same greedy
         // structure); it is likewise mostly hidden behind reconfiguration.
         let kernels = forecast.kernel_count().max(1) as u64;
@@ -206,8 +201,8 @@ mod tests {
         let (catalog, trace) = setup();
         let rispp = Simulator::run(&catalog, machine(0, 3), &trace, &mut RisppPolicy::new());
         let mrts = Simulator::run(&catalog, machine(0, 3), &trace, &mut Mrts::new());
-        let ratio = rispp.total_execution_time().get() as f64
-            / mrts.total_execution_time().get() as f64;
+        let ratio =
+            rispp.total_execution_time().get() as f64 / mrts.total_execution_time().get() as f64;
         assert!(
             (0.9..=1.1).contains(&ratio),
             "FG-only machines should give near-identical results, ratio {ratio}"

@@ -46,7 +46,8 @@ fn main() {
 
     // Catalogue ablation: no parallel-copy variants.
     let encoder = H264Encoder::new();
-    let mut builder = mrts_ise::CatalogBuilder::new(ArchParams::default()).without_parallel_copies();
+    let mut builder =
+        mrts_ise::CatalogBuilder::new(ArchParams::default()).without_parallel_copies();
     for spec in encoder.application().kernel_specs() {
         builder = builder.kernel(spec.clone());
     }

@@ -39,10 +39,7 @@ fn main() {
 
     type PatternMaker = Box<dyn Fn(usize) -> Pattern>;
     let scenarios: [(&str, PatternMaker); 4] = [
-        (
-            "constant",
-            Box::new(move |k| Pattern::Constant(base[k])),
-        ),
+        ("constant", Box::new(move |k| Pattern::Constant(base[k]))),
         (
             // Every kernel's load jumps 8x mid-run (a scene change).
             "step",

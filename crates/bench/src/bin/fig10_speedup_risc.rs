@@ -22,14 +22,8 @@ fn main() {
     let risc_time = risc.total_execution_time().get() as f64;
 
     let mut groups: Vec<(&str, Vec<Resources>)> = vec![
-        (
-            "FG-only",
-            (1..=3).map(Resources::prc_only).collect(),
-        ),
-        (
-            "CG-only",
-            (1..=3).map(Resources::cg_only).collect(),
-        ),
+        ("FG-only", (1..=3).map(Resources::prc_only).collect()),
+        ("CG-only", (1..=3).map(Resources::cg_only).collect()),
         (
             "multi-grained",
             vec![
@@ -54,7 +48,11 @@ fn main() {
             let s = risc_time / stats.total_execution_time().get() as f64;
             speedups.push(s);
             let bar = "#".repeat((s * 10.0) as usize);
-            println!("  {:>2} CG {:>2} PRC : {s:>5.2}x  {bar}", combo.cg(), combo.prc());
+            println!(
+                "  {:>2} CG {:>2} PRC : {s:>5.2}x  {bar}",
+                combo.cg(),
+                combo.prc()
+            );
         }
         let m = mean(&speedups);
         group_means.push((name.to_owned(), m, speedups));

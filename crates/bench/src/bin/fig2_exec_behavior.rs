@@ -60,7 +60,10 @@ fn main() {
         })
         .collect();
 
-    println!("{:>5} | {:>10} | {:>6} | bar", "frame", "executions", "best");
+    println!(
+        "{:>5} | {:>10} | {:>6} | bar",
+        "frame", "executions", "best"
+    );
     println!("{}", "-".repeat(72));
     let mut bests = Vec::new();
     for f in &frames {
@@ -79,9 +82,6 @@ fn main() {
     }
     println!("{}", "-".repeat(72));
     let distinct: std::collections::BTreeSet<&&str> = bests.iter().collect();
-    println!(
-        "distinct best-ISE labels over the sequence: {:?}",
-        distinct
-    );
+    println!("distinct best-ISE labels over the sequence: {:?}", distinct);
     println!("(paper: the best ISE changes across frames as the workload varies)");
 }

@@ -25,7 +25,10 @@ fn main() {
     // The RISC-mode reference for the "performance improvement" metric the
     // paper's Fig. 9 uses (improvement = cycles saved vs RISC-mode).
     let risc = tb
-        .run(mrts_arch::Resources::NONE, &mut mrts_sim::RiscOnlyPolicy::new())
+        .run(
+            mrts_arch::Resources::NONE,
+            &mut mrts_sim::RiscOnlyPolicy::new(),
+        )
         .total_execution_time()
         .get() as f64;
     println!(
@@ -73,10 +76,7 @@ fn main() {
         "mean gap with >=1 CG fabric : {:>5.2}%   (paper: within ~3%)",
         mean(&with_cg)
     );
-    println!(
-        "mean gap on FG-only machines: {:>5.2}%",
-        mean(&fg_only)
-    );
+    println!("mean gap on FG-only machines: {:>5.2}%", mean(&fg_only));
     println!(
         "worst case                  : {:>5.2}% at {}   (paper: ~11% at 4 PRCs, 0 CG)",
         worst.0, worst.1

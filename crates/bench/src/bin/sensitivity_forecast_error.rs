@@ -39,9 +39,7 @@ impl<P: RuntimePolicy> RuntimePolicy for DistortedForecasts<P> {
             .forecast
             .iter()
             .map(|t| {
-                t.with_executions(
-                    (t.expected_executions * self.scale_num / self.scale_den).max(1),
-                )
+                t.with_executions((t.expected_executions * self.scale_num / self.scale_den).max(1))
             })
             .collect();
         let distorted = TriggerBlock::new(ctx.forecast.block, triggers);
@@ -110,7 +108,10 @@ fn main() {
         } else {
             format!("x1/{den}")
         };
-        println!("{label:>10} | {t:>12.3} | {:>+8.2}%", (t - exact) / exact * 100.0);
+        println!(
+            "{label:>10} | {t:>12.3} | {:>+8.2}%",
+            (t - exact) / exact * 100.0
+        );
     }
     println!("{}", "-".repeat(38));
     println!(

@@ -11,6 +11,7 @@
 //! | `fig10_speedup_risc` | Fig. 10 — speedup vs. RISC-mode, FG/CG/MG groups |
 //! | `overhead_mrts` | Section 5.4 — selection cost and overhead fraction |
 //! | `ablation_design_choices` | extra — monoCG / MPU / copies ablations |
+//! | `fault_sweep` | extra — speedup retention under injected hardware faults |
 //!
 //! This library holds the pieces the binaries share: the fabric-combination
 //! sweep, policy construction and run helpers, and plain-text table
@@ -20,7 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mrts_arch::{ArchParams, Cycles, Machine, Resources};
+use mrts_arch::{ArchParams, Cycles, FaultModel, Machine, Resources};
 use mrts_baselines::{
     LooselyCoupledPolicy, OfflineOptimalPolicy, OnlineOptimalPolicy, ProfiledTotals, RisppPolicy,
 };
@@ -113,6 +114,23 @@ impl Testbed {
     #[must_use]
     pub fn run(&self, combo: Resources, policy: &mut dyn RuntimePolicy) -> RunStats {
         Simulator::run(&self.catalog, self.machine(combo), &self.trace, policy)
+    }
+
+    /// Runs one policy on one fabric combination with an armed fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on invalid default parameters (impossible).
+    #[must_use]
+    pub fn run_with_faults(
+        &self,
+        combo: Resources,
+        fault: FaultModel,
+        policy: &mut dyn RuntimePolicy,
+    ) -> RunStats {
+        let machine = Machine::with_fault_model(ArchParams::default(), combo, fault)
+            .expect("default params are valid");
+        Simulator::run(&self.catalog, machine, &self.trace, policy)
     }
 
     /// Runs the four Fig. 8 contenders plus the RISC reference on one

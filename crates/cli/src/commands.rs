@@ -1,7 +1,7 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
-use mrts_arch::{ArchParams, Cycles, FabricKind, Machine, Resources};
+use mrts_arch::{ArchParams, Cycles, FabricKind, FaultModel, Machine, Resources};
 use mrts_baselines::{
     LooselyCoupledPolicy, OfflineOptimalPolicy, OnlineOptimalPolicy, ProfiledTotals, RisppPolicy,
 };
@@ -48,8 +48,12 @@ fn policy(
         "mrts" => Ok(Box::new(Mrts::new())),
         "risc" => Ok(Box::new(RiscOnlyPolicy::new())),
         "rispp" => Ok(Box::new(RisppPolicy::new())),
-        "morpheus" => Ok(Box::new(LooselyCoupledPolicy::new(catalog, capacity, totals))),
-        "offline" => Ok(Box::new(OfflineOptimalPolicy::new(catalog, capacity, totals))),
+        "morpheus" => Ok(Box::new(LooselyCoupledPolicy::new(
+            catalog, capacity, totals,
+        ))),
+        "offline" => Ok(Box::new(OfflineOptimalPolicy::new(
+            catalog, capacity, totals,
+        ))),
         "optimal" => Ok(Box::new(OnlineOptimalPolicy::new())),
         other => Err(format!(
             "unknown policy '{other}' (mrts|risc|rispp|morpheus|offline|optimal)"
@@ -113,10 +117,27 @@ pub fn catalog(args: &Args) -> CliResult {
 
 /// `mrts-cli simulate` — one app, one machine, one policy.
 pub fn simulate(args: &Args) -> CliResult {
-    args.expect_only(&["app", "seed", "cg", "prc", "policy"])?;
+    args.expect_only(&[
+        "app",
+        "seed",
+        "cg",
+        "prc",
+        "policy",
+        "fault-rate",
+        "fault-seed",
+    ])?;
     let (_, catalog, trace) = build(args)?;
     let combo = Resources::new(args.get_num("cg", 2)?, args.get_num("prc", 2)?);
-    let machine = Machine::new(ArchParams::default(), combo)?;
+    let fault_rate: f64 = args.get_num("fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate {fault_rate} must be within [0, 1]").into());
+    }
+    let fault_seed: u64 = args.get_num("fault-seed", 1)?;
+    let machine = Machine::with_fault_model(
+        ArchParams::default(),
+        combo,
+        FaultModel::new(fault_rate, fault_seed),
+    )?;
     let capacity = machine.capacity();
     let totals = ProfiledTotals::from_trace(&trace);
     let mut p = policy(args.get_or("policy", "mrts"), &catalog, capacity, &totals)?;
@@ -134,7 +155,10 @@ pub fn simulate(args: &Args) -> CliResult {
         stats.total_busy().as_mcycles(),
         stats.total_overhead().as_mcycles()
     );
-    println!("speedup  : {:.2}x vs RISC-mode", stats.speedup_vs(&risc).max(0.0));
+    println!(
+        "speedup  : {:.2}x vs RISC-mode",
+        stats.speedup_vs(&risc).max(0.0)
+    );
     println!("executions by implementation:");
     let h = stats.class_histogram();
     for class in ExecClass::ALL {
@@ -143,7 +167,21 @@ pub fn simulate(args: &Args) -> CliResult {
         println!("  {:<14} {n:>9}  ({pct:5.1}%)", class.to_string());
     }
     if stats.rejected_loads > 0 {
-        println!("warning: {} load requests were rejected", stats.rejected_loads);
+        println!(
+            "warning: {} load requests were rejected",
+            stats.rejected_loads
+        );
+    }
+    if fault_rate > 0.0 {
+        println!(
+            "faults   : {} failed loads, {} retries, {} containers lost, \
+             {} degraded executions, {:.3} Mcycles recovery",
+            stats.failed_loads,
+            stats.retried_loads,
+            stats.blacklisted_containers,
+            stats.degraded_executions,
+            stats.recovery_cycles.as_mcycles()
+        );
     }
     Ok(())
 }
@@ -169,7 +207,10 @@ pub fn sweep(args: &Args) -> CliResult {
         println!("cg,prc,mcycles,speedup_vs_risc");
     } else {
         println!("policy: {name}");
-        println!("{:>4} {:>4} {:>12} {:>9}", "CG", "PRC", "Mcycles", "speedup");
+        println!(
+            "{:>4} {:>4} {:>12} {:>9}",
+            "CG", "PRC", "Mcycles", "speedup"
+        );
         println!("{}", "-".repeat(34));
     }
     for cg in 0..=4u16 {
@@ -244,9 +285,7 @@ pub fn pif(args: &Args) -> CliResult {
             .ises_of(kernel.id())
             .iter()
             .map(|i| catalog.ise(*i).expect("dense ids"))
-            .filter(|i| {
-                i.grain() == grain && !i.is_mono_extension() && !i.label().contains("@sw")
-            })
+            .filter(|i| i.grain() == grain && !i.is_mono_extension() && !i.label().contains("@sw"))
             .max_by_key(|i| i.risc_latency() - i.full_latency())
         {
             picks.push(ise);
@@ -270,7 +309,10 @@ pub fn pif(args: &Args) -> CliResult {
         })
         .collect();
 
-    println!("kernel '{kernel_name}' (RISC latency {} cycles)", kernel.risc_latency().get());
+    println!(
+        "kernel '{kernel_name}' (RISC latency {} cycles)",
+        kernel.risc_latency().get()
+    );
     for (ise, r) in picks.iter().zip(&recfg) {
         println!(
             "  {:<34} {:<4} exec {:>5} cyc  reconfig {:>10.4} ms",

@@ -3,6 +3,7 @@
 //! ```text
 //! mrts-cli catalog  [--app h264|fft|cipher|toy]
 //! mrts-cli simulate [--app ..] [--cg N] [--prc N] [--policy ..] [--seed N]
+//!                   [--fault-rate P] [--fault-seed N]
 //! mrts-cli sweep    [--app ..] [--policy ..] [--seed N] [--format table|csv]
 //! mrts-cli trace    [--app ..] [--seed N] [--out FILE]
 //! mrts-cli pif      [--app ..] [--kernel NAME] [--max-exec N]
@@ -35,8 +36,13 @@ COMMON FLAGS:
     --prc      PRCs (default 2)
     --policy   mrts (default) | risc | rispp | morpheus | offline | optimal
 
+SIMULATE-ONLY FLAGS:
+    --fault-rate  per-load/per-execution fault probability (default 0.0)
+    --fault-seed  fault-injection seed (default 1)
+
 EXAMPLES:
     mrts-cli simulate --app h264 --cg 2 --prc 2 --policy mrts
+    mrts-cli simulate --app h264 --policy mrts --fault-rate 0.001 --fault-seed 7
     mrts-cli sweep --policy mrts --format csv > sweep.csv
     mrts-cli pif --kernel deblock --max-exec 10000
 ";

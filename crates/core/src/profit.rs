@@ -181,11 +181,7 @@ pub fn expected_profit(
     let full_latency = ise.full_latency();
     let full_executions = (e - used).max(0.0);
     let full_improvement = full_executions * (risc - full_latency).get() as f64;
-    let profit = breakdown_stages
-        .iter()
-        .map(|s| s.improvement)
-        .sum::<f64>()
-        + full_improvement;
+    let profit = breakdown_stages.iter().map(|s| s.improvement).sum::<f64>() + full_improvement;
     let reconfig_latency = order.last().map_or(Cycles::ZERO, |&i| ready_rel[i]);
 
     // The final availability stage *is* the fully configured ISE; record

@@ -7,7 +7,7 @@ use crate::mpu::Mpu;
 use crate::selector::SelectorConfig;
 use mrts_arch::{Cycles, FabricKind, Machine, Resources};
 use mrts_ise::{IseId, KernelId, UnitId};
-use mrts_sim::{BlockPlan, ExecContext, ExecPlan, RuntimePolicy, SelectionContext};
+use mrts_sim::{BlockPlan, ExecContext, ExecPlan, FaultEvent, RuntimePolicy, SelectionContext};
 use mrts_workload::KernelActivity;
 
 /// Configuration of the full run-time system. The defaults reproduce the
@@ -65,7 +65,9 @@ pub fn mono_preload_units(
         if *budget == 0 {
             return;
         }
-        let Ok(k) = catalog.kernel(kernel) else { return };
+        let Ok(k) = catalog.kernel(kernel) else {
+            return;
+        };
         let Some(mono) = k.mono_cg() else { return };
         if present(mono.unit) || out.contains(&mono.unit) {
             return;
@@ -83,9 +85,10 @@ pub fn mono_preload_units(
     for (kernel, ise) in choices {
         let Some(id) = ise else { continue };
         let Ok(ise) = catalog.ise(*id) else { continue };
-        let fg_pending = ise.stages().iter().any(|s| {
-            s.fabric == FabricKind::FineGrained && !present(s.unit)
-        });
+        let fg_pending = ise
+            .stages()
+            .iter()
+            .any(|s| s.fabric == FabricKind::FineGrained && !present(s.unit));
         if fg_pending {
             push(*kernel, &mut budget, &mut out);
         }
@@ -121,6 +124,7 @@ pub struct Mrts {
     blocks_planned: u64,
     total_selection_cycles: u64,
     total_kernels_selected: u64,
+    faults_observed: u64,
 }
 
 impl Mrts {
@@ -139,7 +143,14 @@ impl Mrts {
             blocks_planned: 0,
             total_selection_cycles: 0,
             total_kernels_selected: 0,
+            faults_observed: 0,
         }
+    }
+
+    /// Number of fault notifications received from the simulator so far.
+    #[must_use]
+    pub fn faults_observed(&self) -> u64 {
+        self.faults_observed
     }
 
     /// The configuration in use.
@@ -329,6 +340,18 @@ impl RuntimePolicy for Mrts {
         if self.config.use_mpu {
             self.mpu.observe(observed);
         }
+    }
+
+    /// Fault recovery is **re-selection, not a special case**: every
+    /// [`Mrts::plan_block`] recomputes the selector budget from
+    /// `machine.free_resources()` (step 2 above), so a container lost to a
+    /// permanent fault has already vanished from the next block's budget and
+    /// the greedy selector re-plans against the shrunken resource vector
+    /// automatically. The notification is recorded so diagnostics (and the
+    /// fault-sweep bench) can report how much adversity a run absorbed.
+    fn notify_fault(&mut self, event: &FaultEvent) {
+        let _ = event;
+        self.faults_observed += 1;
     }
 }
 

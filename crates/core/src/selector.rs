@@ -101,12 +101,13 @@ pub fn select_ises(
     now: Cycles,
     config: &SelectorConfig,
 ) -> Selection {
-    let profit = |ise: &Ise,
-                  trigger: &mrts_ise::TriggerInstruction,
-                  shadow: &ReconfigurationController| {
-        expected_profit(ise, trigger, now, shadow, resident).profit
-    };
-    select_ises_with(catalog, forecast, budget, resident, controller, now, config, &profit)
+    let profit =
+        |ise: &Ise, trigger: &mrts_ise::TriggerInstruction, shadow: &ReconfigurationController| {
+            expected_profit(ise, trigger, now, shadow, resident).profit
+        };
+    select_ises_with(
+        catalog, forecast, budget, resident, controller, now, config, &profit,
+    )
 }
 
 /// [`select_ises`] with a custom profit evaluator — the hook the
@@ -209,10 +210,7 @@ pub fn select_ises_with(
                 );
             }
         }
-        let demand: Resources = new_units
-            .iter()
-            .map(|u| catalog.unit(*u).resources())
-            .sum();
+        let demand: Resources = new_units.iter().map(|u| catalog.unit(*u).resources()).sum();
         remaining = remaining.saturating_sub(demand);
         selected_kernels.insert(ise.kernel());
         load_order.extend(new_units.iter().copied());
@@ -259,7 +257,10 @@ fn new_demand(
     ise.stages()
         .iter()
         .filter(|s| {
-            !resident(s.unit) && controller.pending_ready_time(s.unit.as_loaded_id()).is_none()
+            !resident(s.unit)
+                && controller
+                    .pending_ready_time(s.unit.as_loaded_id())
+                    .is_none()
         })
         .map(|s| match s.fabric {
             mrts_arch::FabricKind::FineGrained => Resources::prc_only(1),
@@ -356,11 +357,7 @@ mod tests {
             kernels.dedup();
             assert_eq!(kernels.len(), s.selected.len());
             // Total demand of new units fits the budget.
-            let demand: Resources = s
-                .load_order
-                .iter()
-                .map(|u| c.unit(*u).resources())
-                .sum();
+            let demand: Resources = s.load_order.iter().map(|u| c.unit(*u).resources()).sum();
             assert!(demand.fits_in(budget), "{demand} vs {budget}");
             // Choices cover every forecast kernel.
             assert_eq!(s.choices.len(), 2);

@@ -455,10 +455,7 @@ impl DataPathGraph {
         if ops == 0 {
             return 0.0;
         }
-        let bits = self
-            .ops()
-            .filter(|(k, _)| k.is_bit_level())
-            .count();
+        let bits = self.ops().filter(|(k, _)| k.is_bit_level()).count();
         bits as f64 / ops as f64
     }
 

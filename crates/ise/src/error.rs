@@ -53,7 +53,10 @@ impl fmt::Display for IseError {
         match self {
             IseError::InvalidGraph(msg) => write!(f, "invalid data-path graph: {msg}"),
             IseError::DanglingOperand { graph, node } => {
-                write!(f, "graph '{graph}': node {node} references a missing operand")
+                write!(
+                    f,
+                    "graph '{graph}': node {node} references a missing operand"
+                )
             }
             IseError::BadArity {
                 graph,

@@ -67,12 +67,18 @@ id_type!(
 /// A `UnitId` doubles as the opaque [`LoadedId`](mrts_arch::fg::LoadedId)
 /// used by the architecture layer, so fabric occupancy can be mapped back to
 /// catalogue units without a lookup table.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UnitId(pub u64);
 
 impl UnitId {
+    /// A unit id that never names a real catalogue unit.
+    ///
+    /// Useful as an explicit "no such unit" sentinel in tests and defensive
+    /// code paths (e.g. eviction requests for artefacts that were never
+    /// loaded must be ignored, not panic). Catalogue unit ids are assigned
+    /// densely from zero, so `u64::MAX` can never collide with one.
+    pub const INVALID: UnitId = UnitId(u64::MAX);
+
     /// Returns the raw index.
     #[must_use]
     pub const fn index(self) -> u64 {
@@ -115,6 +121,12 @@ mod tests {
     fn unit_id_round_trips_through_loaded_id() {
         let u = UnitId(42);
         assert_eq!(UnitId::from_loaded_id(u.as_loaded_id()), u);
+    }
+
+    #[test]
+    fn invalid_unit_id_is_larger_than_any_real_id() {
+        assert_eq!(UnitId::INVALID, UnitId(u64::MAX));
+        assert!(UnitId(0) < UnitId::INVALID);
     }
 
     #[test]

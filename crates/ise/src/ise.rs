@@ -274,11 +274,7 @@ impl Ise {
     ///
     /// Returns 0.0 for zero executions.
     #[must_use]
-    pub fn performance_improvement_factor(
-        &self,
-        executions: u64,
-        reconfig_latency: Cycles,
-    ) -> f64 {
+    pub fn performance_improvement_factor(&self, executions: u64, reconfig_latency: Cycles) -> f64 {
         if executions == 0 {
             return 0.0;
         }

@@ -694,10 +694,7 @@ mod tests {
             assert!(mono.instrs > 0);
             let u = c.unit(mono.unit);
             assert_eq!(u.fabric(), FabricKind::CoarseGrained);
-            assert_eq!(
-                u.saving_per_exec(),
-                k.risc_latency() - mono.latency
-            );
+            assert_eq!(u.saving_per_exec(), k.risc_latency() - mono.latency);
         }
     }
 
@@ -748,10 +745,7 @@ mod tests {
         for ise in c.ises() {
             assert_eq!(ise.stage_count(), 1);
         }
-        assert_eq!(
-            c.ises().iter().filter(|i| i.is_mono_extension()).count(),
-            1
-        );
+        assert_eq!(c.ises().iter().filter(|i| i.is_mono_extension()).count(), 1);
     }
 
     #[test]
@@ -775,9 +769,7 @@ mod tests {
                 if !front.contains(id) {
                     let loser = c.ise(*id).unwrap();
                     assert!(
-                        front
-                            .iter()
-                            .any(|w| c.ise(*w).unwrap().dominates(loser)),
+                        front.iter().any(|w| c.ise(*w).unwrap().dominates(loser)),
                         "{} survived nothing",
                         loser.label()
                     );
@@ -789,8 +781,7 @@ mod tests {
     #[test]
     fn combination_count_multiplies() {
         let c = two_kernel_catalog();
-        let expected =
-            c.ises_of(KernelId(0)).len() as u128 * c.ises_of(KernelId(1)).len() as u128;
+        let expected = c.ises_of(KernelId(0)).len() as u128 * c.ises_of(KernelId(1)).len() as u128;
         assert_eq!(c.combination_count(&[KernelId(0), KernelId(1)]), expected);
         assert_eq!(c.combination_count(&[]), 1);
     }

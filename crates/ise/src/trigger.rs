@@ -126,12 +126,7 @@ mod tests {
 
     #[test]
     fn tuple_round_trip() {
-        let ti = TriggerInstruction::new(
-            KernelId(2),
-            4_000,
-            Cycles::new(1_000),
-            Cycles::new(250),
-        );
+        let ti = TriggerInstruction::new(KernelId(2), 4_000, Cycles::new(1_000), Cycles::new(250));
         assert_eq!(ti.kernel, KernelId(2));
         assert_eq!(ti.expected_executions, 4_000);
         assert_eq!(ti.with_executions(9).expected_executions, 9);
@@ -151,10 +146,7 @@ mod tests {
             ],
         );
         assert_eq!(tb.kernel_count(), 2);
-        assert_eq!(
-            tb.trigger_for(KernelId(5)).unwrap().expected_executions,
-            20
-        );
+        assert_eq!(tb.trigger_for(KernelId(5)).unwrap().expected_executions, 20);
         assert!(tb.trigger_for(KernelId(9)).is_none());
     }
 

@@ -455,7 +455,9 @@ impl EdpeInterpreter {
                     state.regs[d] = v;
                     last_written = dst;
                     cycles += match kind.cg_class() {
-                        CgClass::Simple | CgClass::Emulated => OpClass::Simple.latency(&self.params),
+                        CgClass::Simple | CgClass::Emulated => {
+                            OpClass::Simple.latency(&self.params)
+                        }
                         CgClass::Multiply => OpClass::Multiply.latency(&self.params),
                         CgClass::Divide => OpClass::Divide.latency(&self.params),
                         CgClass::LoadStore => OpClass::LoadStore.latency(&self.params),
@@ -571,7 +573,7 @@ mod tests {
     #[test]
     fn load_store_use_scratchpad() {
         let prog = ContextProgram::assemble(&[
-            Instr::LoadImm { dst: 0, imm: 5 }, // address
+            Instr::LoadImm { dst: 0, imm: 5 },  // address
             Instr::LoadImm { dst: 1, imm: 99 }, // value
             Instr::Op {
                 kind: OpKind::Store,

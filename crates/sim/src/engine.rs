@@ -20,11 +20,17 @@
 //! plus the run-time system's own decision overhead — the quantity whose
 //! differences Eq. 5 maximizes.
 
-use crate::policy::{ExecContext, ExecMode, RuntimePolicy, SelectionContext};
-use crate::stats::{BlockStats, ExecClass, KernelStats, RunStats};
-use mrts_arch::{Cycles, FabricKind, Machine};
+use crate::policy::{ExecContext, ExecMode, FaultEvent, RuntimePolicy, SelectionContext};
+use crate::stats::{BlockStats, ExecClass, RunStats};
+use mrts_arch::{ArchError, Cycles, FabricKind, FaultKind, Machine};
 use mrts_ise::{IseCatalog, IseId, KernelId, UnitId};
 use mrts_workload::{KernelActivity, Trace};
+
+/// Retries granted per faulted load on top of the initial attempt. CRC
+/// faults are transient, so a small budget recovers almost all of them; a
+/// load still failing afterwards is abandoned for this block and the
+/// affected kernel degrades to its best remaining implementation.
+pub const LOAD_RETRY_BUDGET: u32 = 3;
 
 /// The simulator: machine state plus the global clock.
 #[derive(Debug)]
@@ -139,9 +145,8 @@ impl<'a> Simulator<'a> {
             if self.is_present(u) {
                 continue; // already resident or streaming
             }
-            match self.issue_load(t0, u) {
-                Some(ready_at) => boundaries.push(ready_at),
-                None => stats.rejected_loads += 1,
+            if let Some(ready_at) = self.issue_load(t0, u, policy, stats) {
+                boundaries.push(ready_at);
             }
         }
         boundaries.sort_unstable();
@@ -155,7 +160,7 @@ impl<'a> Simulator<'a> {
                 plan.selection_for(activity.kernel),
                 policy,
                 &mut boundaries,
-                stats.kernels.entry(activity.kernel).or_default(),
+                stats,
             );
             busy += kernel_busy;
             makespan = makespan.max((finish - t0) + Cycles::ZERO);
@@ -184,7 +189,7 @@ impl<'a> Simulator<'a> {
         selected: Option<IseId>,
         policy: &mut dyn RuntimePolicy,
         boundaries: &mut Vec<Cycles>,
-        kstats: &mut KernelStats,
+        stats: &mut RunStats,
     ) -> (Cycles, Cycles) {
         let kernel = self
             .catalog
@@ -226,7 +231,54 @@ impl<'a> Simulator<'a> {
                 }
                 None => remaining,
             };
-            kstats.record(class, n, latency);
+
+            // Transient execution faults hit only accelerated executions
+            // (a RISC execution has no reconfigurable data path to upset).
+            // One geometric draw covers the whole batch.
+            let fault_at = if class == ExecClass::RiscMode {
+                None
+            } else {
+                self.machine.exec_fault_in_batch(n)
+            };
+            if let Some(k) = fault_at {
+                // `k` executions complete normally...
+                if k > 0 {
+                    stats
+                        .kernels
+                        .entry(activity.kernel)
+                        .or_default()
+                        .record(class, k, latency);
+                    busy += latency * k;
+                    t += period * k;
+                }
+                // ...then execution `k` is corrupted: its accelerated result
+                // is discarded and the kernel re-executes in RISC mode.
+                let fault_latency = latency + risc;
+                stats.kernels.entry(activity.kernel).or_default().record(
+                    ExecClass::RiscMode,
+                    1,
+                    fault_latency,
+                );
+                stats.degraded_executions += 1;
+                stats.recovery_cycles += risc;
+                busy += fault_latency;
+                t += fault_latency + activity.gap;
+                remaining -= k + 1;
+                policy.notify_fault(&FaultEvent {
+                    now: t,
+                    kind: FaultKind::TransientExec,
+                    fabric: None,
+                    unit: None,
+                    kernel: Some(activity.kernel),
+                });
+                continue;
+            }
+
+            stats
+                .kernels
+                .entry(activity.kernel)
+                .or_default()
+                .record(class, n, latency);
             busy += latency * n;
             t += period * n;
             remaining -= n;
@@ -241,19 +293,60 @@ impl<'a> Simulator<'a> {
         self.machine.is_resident(u.as_loaded_id(), Cycles::MAX)
     }
 
-    /// Issues the reconfiguration of `u`; returns its completion time.
-    fn issue_load(&mut self, now: Cycles, u: UnitId) -> Option<Cycles> {
+    /// Issues the reconfiguration of `u`, retrying faulted attempts up to
+    /// [`LOAD_RETRY_BUDGET`] times; returns its completion time, or `None`
+    /// if the load could not be placed (insufficient fabric, or the retry
+    /// budget was exhausted — the kernel then degrades to its best
+    /// still-available implementation).
+    fn issue_load(
+        &mut self,
+        now: Cycles,
+        u: UnitId,
+        policy: &mut dyn RuntimePolicy,
+        stats: &mut RunStats,
+    ) -> Option<Cycles> {
         let unit = self.catalog.unit(u);
-        let ticket = match unit.fabric() {
-            FabricKind::FineGrained => {
-                self.machine
-                    .load_fg(now, u.as_loaded_id(), unit.bitstream_bytes())
+        let fabric = unit.fabric();
+        let mut attempt_at = now;
+        for attempt in 0..=LOAD_RETRY_BUDGET {
+            if attempt > 0 {
+                stats.retried_loads += 1;
             }
-            FabricKind::CoarseGrained => {
-                self.machine.load_cg(now, u.as_loaded_id(), unit.cg_instrs())
+            let ticket = match fabric {
+                FabricKind::FineGrained => {
+                    self.machine
+                        .load_fg(attempt_at, u.as_loaded_id(), unit.bitstream_bytes())
+                }
+                FabricKind::CoarseGrained => {
+                    self.machine
+                        .load_cg(attempt_at, u.as_loaded_id(), unit.cg_instrs())
+                }
+            };
+            match ticket {
+                Ok(t) => return Some(t.ready_at),
+                Err(ArchError::LoadFault(fault)) => {
+                    stats.failed_loads += 1;
+                    stats.recovery_cycles += fault.wasted;
+                    if fault.kind == FaultKind::PermanentContainer {
+                        stats.blacklisted_containers += 1;
+                    }
+                    policy.notify_fault(&FaultEvent {
+                        now: attempt_at,
+                        kind: fault.kind,
+                        fabric: Some(fault.fabric),
+                        unit: Some(u),
+                        kernel: None,
+                    });
+                    // The retry queues behind the wasted transfer.
+                    attempt_at = attempt_at.max(fault.retry_at);
+                }
+                Err(_) => {
+                    stats.rejected_loads += 1;
+                    return None;
+                }
             }
-        };
-        ticket.ok().map(|t| t.ready_at)
+        }
+        None
     }
 
     /// Installs the kernel's monoCG-Extension if it exists, is not already
@@ -437,7 +530,10 @@ mod tests {
         let slow_start = h.get(&ExecClass::RiscMode).copied().unwrap_or(0)
             + h.get(&ExecClass::IntermediateIse).copied().unwrap_or(0);
         assert!(slow_start > 0, "{h:?}");
-        assert!(h.get(&ExecClass::FullIse).copied().unwrap_or(0) > 0, "{h:?}");
+        assert!(
+            h.get(&ExecClass::FullIse).copied().unwrap_or(0) > 0,
+            "{h:?}"
+        );
     }
 
     #[test]

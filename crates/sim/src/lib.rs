@@ -42,8 +42,9 @@ pub mod policy;
 pub mod record;
 pub mod stats;
 
-pub use engine::Simulator;
+pub use engine::{Simulator, LOAD_RETRY_BUDGET};
 pub use policy::{
-    BlockPlan, ExecContext, ExecMode, ExecPlan, RiscOnlyPolicy, RuntimePolicy, SelectionContext,
+    BlockPlan, ExecContext, ExecMode, ExecPlan, FaultEvent, RiscOnlyPolicy, RuntimePolicy,
+    SelectionContext,
 };
 pub use stats::{BlockStats, ExecClass, KernelStats, RunStats};

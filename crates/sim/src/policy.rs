@@ -16,7 +16,7 @@
 //! actually observed kernel behaviour back (the hook the Monitoring &
 //! Prediction Unit uses).
 
-use mrts_arch::{Cycles, Machine};
+use mrts_arch::{Cycles, FabricKind, FaultKind, Machine};
 use mrts_ise::{IseCatalog, IseId, KernelId, TriggerBlock, UnitId};
 use mrts_workload::KernelActivity;
 
@@ -114,6 +114,22 @@ impl ExecPlan {
     }
 }
 
+/// A fault the simulator observed and recovered from, reported to the
+/// policy through [`RuntimePolicy::notify_fault`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault was detected.
+    pub now: Cycles,
+    /// What kind of fault it was.
+    pub kind: FaultKind,
+    /// The fabric involved (for load faults).
+    pub fabric: Option<FabricKind>,
+    /// The unit whose load failed (for load faults).
+    pub unit: Option<UnitId>,
+    /// The kernel whose execution was corrupted (for transient exec faults).
+    pub kernel: Option<KernelId>,
+}
+
 /// A run-time system under evaluation (mRTS or one of the baselines).
 pub trait RuntimePolicy {
     /// Diagnostic name used in reports.
@@ -139,6 +155,14 @@ pub trait RuntimePolicy {
     fn observe_block_end(&mut self, block: mrts_ise::BlockId, observed: &[KernelActivity]) {
         let _ = (block, observed);
     }
+
+    /// Called after the simulator detects and recovers from an injected
+    /// fault (failed load, lost container, corrupted execution). Policies
+    /// that adapt — e.g. mRTS re-running its selector against the shrunken
+    /// resource vector — override this; the default ignores the event.
+    fn notify_fault(&mut self, event: &FaultEvent) {
+        let _ = event;
+    }
 }
 
 /// The trivial policy: never reconfigures anything, every kernel runs in
@@ -162,11 +186,7 @@ impl RuntimePolicy for RiscOnlyPolicy {
 
     fn plan_block(&mut self, ctx: &SelectionContext<'_>) -> BlockPlan {
         BlockPlan {
-            selections: ctx
-                .forecast
-                .iter()
-                .map(|t| (t.kernel, None))
-                .collect(),
+            selections: ctx.forecast.iter().map(|t| (t.kernel, None)).collect(),
             ..BlockPlan::default()
         }
     }
@@ -223,8 +243,11 @@ mod tests {
                 .unwrap()
         });
         let machine = MACHINE.get_or_init(|| {
-            Machine::new(mrts_arch::ArchParams::default(), mrts_arch::Resources::new(1, 1))
-                .unwrap()
+            Machine::new(
+                mrts_arch::ArchParams::default(),
+                mrts_arch::Resources::new(1, 1),
+            )
+            .unwrap()
         });
         ExecContext {
             now: Cycles::ZERO,

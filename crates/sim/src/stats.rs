@@ -94,6 +94,24 @@ pub struct RunStats {
     /// Units the policy asked to load but the machine had to reject
     /// (insufficient free fabric) — should stay 0 for well-formed policies.
     pub rejected_loads: u64,
+    /// Load attempts that hit an injected fault (CRC or permanent).
+    #[serde(default)]
+    pub failed_loads: u64,
+    /// Retry attempts issued after faulted loads (successful or not).
+    #[serde(default)]
+    pub retried_loads: u64,
+    /// Containers permanently lost to injected faults over the run.
+    #[serde(default)]
+    pub blacklisted_containers: u64,
+    /// Accelerated executions whose result was discarded after a transient
+    /// fault and re-run in RISC mode.
+    #[serde(default)]
+    pub degraded_executions: u64,
+    /// Configuration-port cycles wasted streaming faulted loads plus RISC
+    /// re-execution cycles after transient faults — the total cost of
+    /// recovering from injected faults.
+    #[serde(default)]
+    pub recovery_cycles: Cycles,
 }
 
 impl RunStats {
@@ -179,6 +197,18 @@ impl fmt::Display for RunStats {
                 writeln!(f, "  {c}: {n}")?;
             }
         }
+        if self.failed_loads > 0 || self.degraded_executions > 0 {
+            writeln!(
+                f,
+                "  faults: {} failed loads ({} retries, {} containers lost), \
+                 {} degraded executions, {:.3} Mcycles recovery",
+                self.failed_loads,
+                self.retried_loads,
+                self.blacklisted_containers,
+                self.degraded_executions,
+                self.recovery_cycles.as_mcycles()
+            )?;
+        }
         Ok(())
     }
 }
@@ -204,18 +234,20 @@ mod tests {
             policy: "fast".into(),
             ..RunStats::default()
         };
-        fast.kernels
-            .entry(KernelId(0))
-            .or_default()
-            .record(ExecClass::FullIse, 10, Cycles::new(10));
+        fast.kernels.entry(KernelId(0)).or_default().record(
+            ExecClass::FullIse,
+            10,
+            Cycles::new(10),
+        );
         let mut slow = RunStats {
             policy: "slow".into(),
             ..RunStats::default()
         };
-        slow.kernels
-            .entry(KernelId(0))
-            .or_default()
-            .record(ExecClass::RiscMode, 10, Cycles::new(30));
+        slow.kernels.entry(KernelId(0)).or_default().record(
+            ExecClass::RiscMode,
+            10,
+            Cycles::new(30),
+        );
         assert_eq!(fast.total_busy(), Cycles::new(100));
         assert!((fast.speedup_vs(&slow) - 3.0).abs() < 1e-12);
         assert_eq!(fast.total_executions(), 10);

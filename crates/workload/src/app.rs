@@ -97,7 +97,10 @@ impl Application {
     /// Panics if `apps` is empty.
     #[must_use]
     pub fn merged(name: impl Into<String>, apps: &[&Application]) -> (Application, Vec<u16>) {
-        assert!(!apps.is_empty(), "merging requires at least one application");
+        assert!(
+            !apps.is_empty(),
+            "merging requires at least one application"
+        );
         let mut specs = Vec::new();
         let mut offsets = Vec::with_capacity(apps.len());
         let mut rebased_blocks: Vec<Vec<FunctionalBlock>> = Vec::with_capacity(apps.len());
@@ -181,11 +184,7 @@ pub trait WorkloadModel {
     /// execution (the `tfᵢ` generator). The default staggers kernels by
     /// their position within the block.
     fn kernel_first_delay(&self, block: &FunctionalBlock, kernel: KernelId) -> Cycles {
-        let pos = block
-            .kernels
-            .iter()
-            .position(|k| *k == kernel)
-            .unwrap_or(0) as u64;
+        let pos = block.kernels.iter().position(|k| *k == kernel).unwrap_or(0) as u64;
         Cycles::new(1_000 + pos * 2_000)
     }
 }

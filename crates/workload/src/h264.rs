@@ -578,15 +578,15 @@ impl WorkloadModel for H264Encoder {
         // generation, control flow, memory traffic. Derived from the
         // kernel's role in the encoder pipeline.
         let cycles = match kernel.index() {
-            0 => 150,        // sad16: tight search loop
-            1 => 300,        // satd
-            2 => 500,        // ipred: mode bookkeeping
-            3 | 4 => 250,    // dct/idct
-            5 | 6 => 200,    // quant/dequant
-            7 => 400,        // hadamard
-            8 => 220,        // zigzag
-            9 => 600,        // cavlc: bitstream bookkeeping
-            _ => 350,        // deblock: edge addressing
+            0 => 150,     // sad16: tight search loop
+            1 => 300,     // satd
+            2 => 500,     // ipred: mode bookkeeping
+            3 | 4 => 250, // dct/idct
+            5 | 6 => 200, // quant/dequant
+            7 => 400,     // hadamard
+            8 => 220,     // zigzag
+            9 => 600,     // cavlc: bitstream bookkeeping
+            _ => 350,     // deblock: edge addressing
         };
         Cycles::new(cycles)
     }

@@ -208,20 +208,19 @@ impl VideoModel {
             let y = (mb / usize::from(self.width_mb)) as f64 / f64::from(self.height_mb);
             // Procedural texture field: smooth spatial variation + noise.
             let field = 0.5
-                + 0.3 * ((x * 6.3 + f64::from(index) * 0.37).sin()
-                    * (y * 4.7 - f64::from(index) * 0.21).cos())
+                + 0.3
+                    * ((x * 6.3 + f64::from(index) * 0.37).sin()
+                        * (y * 4.7 - f64::from(index) * 0.21).cos())
                 + rng.gen_range(-0.15..0.15);
             let local_texture = (scene.texture * field * 1.6).clamp(0.0, 1.0);
-            let local_motion =
-                ((scene.motion + drift) * (0.6 + 0.8 * field) ).clamp(0.0, 1.0);
+            let local_motion = ((scene.motion + drift) * (0.6 + 0.8 * field)).clamp(0.0, 1.0);
             let residual = if scene_change {
                 // Intra frames: residual reflects texture, not motion.
                 (0.4 + 0.6 * local_texture).clamp(0.0, 1.0)
             } else {
                 (0.15 + 0.85 * local_motion * (0.5 + 0.5 * local_texture)).clamp(0.0, 1.0)
             };
-            let edge_strength =
-                (0.25 * local_texture + 0.75 * residual).clamp(0.0, 1.0);
+            let edge_strength = (0.25 * local_texture + 0.75 * residual).clamp(0.0, 1.0);
             macroblocks.push(MacroblockFeatures {
                 residual,
                 edge_strength,

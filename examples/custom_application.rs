@@ -15,9 +15,7 @@ use mrts::ise::datapath::{DataPathGraph, OpKind};
 use mrts::ise::{BlockId, KernelId, KernelSpec};
 use mrts::sim::{RiscOnlyPolicy, Simulator};
 use mrts::workload::video::FrameStats;
-use mrts::workload::{
-    Application, FunctionalBlock, TraceBuilder, VideoModel, WorkloadModel,
-};
+use mrts::workload::{Application, FunctionalBlock, TraceBuilder, VideoModel, WorkloadModel};
 
 /// Correlator data path: multiply-accumulate against a known preamble.
 fn correlator() -> DataPathGraph {
@@ -119,9 +117,9 @@ impl WorkloadModel for SdrReceiver {
         // iterations.
         let noise = frame.mean_residual();
         vec![
-            (800.0 + 4_000.0 * noise) as u64, // sync
-            1_200,                            // equalize (fixed rate)
-            1_500,                            // descramble (fixed rate)
+            (800.0 + 4_000.0 * noise) as u64,   // sync
+            1_200,                              // equalize (fixed rate)
+            1_500,                              // descramble (fixed rate)
             (1_000.0 + 3_000.0 * noise) as u64, // decode
         ]
     }

@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pifs: Vec<String> = ises
             .iter()
             .map(|(n, ise)| {
-                format!("{n}={:5.2}", ise.performance_improvement_factor(e, reconfig_latency(ise)))
+                format!(
+                    "{n}={:5.2}",
+                    ise.performance_improvement_factor(e, reconfig_latency(ise))
+                )
             })
             .collect();
         println!("  e = {e:>6}: {}", pifs.join("  "));
@@ -82,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (best, _) = ises
             .iter()
             .map(|(n, ise)| {
-                (*n, ise.performance_improvement_factor(e, reconfig_latency(ise)))
+                (
+                    *n,
+                    ise.performance_improvement_factor(e, reconfig_latency(ise)),
+                )
             })
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty");

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let second_half = Trace::new("frames 8-15", acts[24..].to_vec());
 
     let combo = Resources::new(2, 2);
-    println!("machine: {combo} (capacity {})", Machine::new(ArchParams::default(), combo)?.capacity());
+    println!(
+        "machine: {combo} (capacity {})",
+        Machine::new(ArchParams::default(), combo)?.capacity()
+    );
     println!();
 
     // Scenario A: the whole run with exclusive fabric ownership.
@@ -73,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let m = |s: &mrts::sim::RunStats| s.total_execution_time().as_mcycles();
     row("mRTS, exclusive fabric", m(&exclusive_a), m(&exclusive_b));
-    row("mRTS, fabric shared from frame 8", m(&shared_a), m(&shared_b));
+    row(
+        "mRTS, fabric shared from frame 8",
+        m(&shared_a),
+        m(&shared_b),
+    );
     row(
         "RISC-mode",
         risc.total_execution_time().as_mcycles() / 2.0,

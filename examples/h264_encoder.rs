@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let totals = ProfiledTotals::from_trace(&trace);
     let capacity = Machine::new(ArchParams::default(), combo)?.capacity();
 
-    println!("machine: {cg} CG-EDPEs ({} context slots) + {prc} PRCs", capacity.cg());
+    println!(
+        "machine: {cg} CG-EDPEs ({} context slots) + {prc} PRCs",
+        capacity.cg()
+    );
     println!("trace  : {} activations, 16 frames", trace.len());
     println!();
     println!(

@@ -45,11 +45,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mrts = Simulator::run(&catalog, machine()?, &trace, &mut Mrts::new());
 
     println!();
-    println!("RISC-mode execution time: {:8.2} Mcycles", risc.total_execution_time().as_mcycles());
-    println!("mRTS execution time     : {:8.2} Mcycles", mrts.total_execution_time().as_mcycles());
+    println!(
+        "RISC-mode execution time: {:8.2} Mcycles",
+        risc.total_execution_time().as_mcycles()
+    );
+    println!(
+        "mRTS execution time     : {:8.2} Mcycles",
+        mrts.total_execution_time().as_mcycles()
+    );
     println!("speedup                 : {:8.2}x", mrts.speedup_vs(&risc));
     println!();
-    println!("how mRTS executed the {} kernel invocations:", mrts.total_executions());
+    println!(
+        "how mRTS executed the {} kernel invocations:",
+        mrts.total_executions()
+    );
     for (class, count) in mrts.class_histogram() {
         println!("  {:<14} {count}", class.to_string());
     }

@@ -1,0 +1,489 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this repository's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter` /
+//! `prop_filter_map`, integer-range and tuple strategies,
+//! [`collection::vec`], [`any`], [`Just`], the [`proptest!`] macro (with
+//! optional `#![proptest_config(..)]` header) and the `prop_assert*`
+//! macros.
+//!
+//! Differences from upstream: sampling is a fixed deterministic PRNG seeded
+//! from the test name (no persisted failure regressions) and there is **no
+//! shrinking** — a failing case panics with the sampled values available via
+//! the assertion message only.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ----------------------------------------------------------------- test rng
+
+/// Deterministic PRNG used by generated tests.
+pub mod test_runner {
+    /// splitmix64 generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator whose stream is a pure function of `name`.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)` (`bound` > 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+// ----------------------------------------------------------------- strategy
+
+/// Value-generation strategies (subset of `proptest::strategy::Strategy`).
+///
+/// `generate` returns `None` when the sample is rejected (e.g. by
+/// [`Strategy::prop_filter`]); the test macro then redraws.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or `None` if this sample is rejected.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f`.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects values for which `f` is false. `reason` is informational.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        let _ = reason.into();
+        Filter { inner: self, f }
+    }
+
+    /// Simultaneously maps and filters. `reason` is informational.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        reason: impl Into<String>,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        let _ = reason.into();
+        FilterMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<T::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// Strategies borrow freely: `&S` is a strategy whenever `S` is.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        (**self).generate(rng)
+    }
+}
+
+// ----------------------------------------------------- integer range strategies
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) * span) >> 64;
+                Some((self.start as i128 + off as i128) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        Some(self.start + unit * (self.end - self.start))
+    }
+}
+
+// ----------------------------------------------------------------- any::<T>()
+
+/// Types with a canonical full-domain strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    #[doc(hidden)]
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite floats only (upstream `any::<f64>()` includes specials, but
+        // the repo's properties only need broad numeric coverage).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2e12 - 1e12
+    }
+}
+
+/// Full-domain strategy for `T`; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for any [`Arbitrary`] type, as `any::<u32>()`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ------------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+// -------------------------------------------------------------- collections
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a [`VecStrategy`]; mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Namespace alias so `prop::collection::vec(..)` works as upstream.
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ------------------------------------------------------------------- config
+
+/// Per-block configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted samples.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ------------------------------------------------------------------- macros
+
+/// Defines property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u64 = 0;
+                while __accepted < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= u64::from(__config.cases) * 100 + 1_000,
+                        "proptest shim: strategy for `{}` rejected too many samples",
+                        stringify!($name),
+                    );
+                    $(
+                        let $arg = match $crate::Strategy::generate(
+                            &$strat, &mut __rng)
+                        {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => continue,
+                        };
+                    )+
+                    __accepted += 1;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property; mirrors `proptest::prop_assert!`.
+///
+/// Unlike upstream there is no shrinking: failure panics immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property; mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property; mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{any, Any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let x = Strategy::generate(&(3u64..17), &mut rng).unwrap();
+            assert!((3..17).contains(&x));
+            let y = Strategy::generate(&(-5i32..6), &mut rng).unwrap();
+            assert!((-5..6).contains(&y));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = TestRng::deterministic("vecs");
+        for _ in 0..200 {
+            let v = Strategy::generate(&collection::vec(0u8..10, 2..5), &mut rng).unwrap();
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args bind, filters redraw, asserts work.
+        #[test]
+        fn macro_smoke(a in 1u32..100, v in collection::vec(0u64..9, 1..4)) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert!(!v.is_empty());
+        }
+
+        #[test]
+        fn combinators_compose(x in (0u32..50).prop_map(|n| n * 2)
+                                    .prop_filter("even", |n| n % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 99);
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the value-model `serde::Serialize` / `serde::Deserialize`
+//! traits defined by the companion `serde` shim. The macro is written without
+//! `syn`/`quote`: it walks the raw [`proc_macro::TokenTree`] stream directly,
+//! which is adequate because the repository only derives on plain
+//! (non-generic) structs and enums.
+//!
+//! Supported input shapes: unit / newtype / tuple / named-field structs and
+//! enums whose variants are unit / newtype / tuple / struct-like. The only
+//! supported field attribute is `#[serde(default)]`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+// --------------------------------------------------------------------- model
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    NewType,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// -------------------------------------------------------------------- parser
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Advances past a run of outer attributes (`#[...]`), returning whether any
+/// of them was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while is_punct(toks.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            let body = g.stream().to_string();
+            let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.starts_with("serde(") && compact.contains("default") {
+                default = true;
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+/// Advances past an optional `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if is_ident(toks.get(*i), "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Advances to just past the next top-level comma (angle-bracket aware so
+/// commas inside `BTreeMap<K, V>` don't split fields).
+fn skip_to_next_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde shim derive: expected field name, got `{t}`"),
+        };
+        i += 1;
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "serde shim derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_to_next_comma(&toks, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct/-variant parenthesis group.
+fn tuple_arity(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_paren_shape(g: &Group) -> Shape {
+    match tuple_arity(g) {
+        0 => Shape::Unit,
+        1 => Shape::NewType,
+        n => Shape::Tuple(n),
+    }
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde shim derive: expected variant name, got `{t}`"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(vg));
+                i += 1;
+                s
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                let s = parse_paren_shape(vg);
+                i += 1;
+                s
+            }
+            _ => Shape::Unit,
+        };
+        skip_to_next_comma(&toks, &mut i);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde shim derive: expected `struct` or `enum`, got `{t}`"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde shim derive: expected type name, got `{t}`"),
+    };
+    i += 1;
+    assert!(
+        !is_punct(toks.get(i), '<'),
+        "serde shim derive: generic type `{name}` is not supported (the offline \
+         shim only handles plain structs/enums; see shims/README.md)"
+    );
+    match kw.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    parse_paren_shape(g)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                t => panic!("serde shim derive: unexpected struct body `{t:?}`"),
+            };
+            Input::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                t => panic!("serde shim derive: unexpected enum body `{t:?}`"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other} {name}`"),
+    }
+}
+
+// ------------------------------------------------------------------- codegen
+
+/// `("f".to_string(), ::serde::Serialize::to_value(<access>))` entries for a
+/// named-field map.
+fn named_ser_entries(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let _ = write!(
+            out,
+            "({:?}.to_string(), ::serde::Serialize::to_value(&{})),",
+            f.name,
+            access(&f.name)
+        );
+    }
+    out
+}
+
+/// Field initializers `f: match __v.get_field("f") {...}` reading from `src`.
+fn named_de_inits(fields: &[Field], src: &str, ty_label: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field({:?}, {ty_label:?}))",
+                f.name
+            )
+        };
+        let _ = write!(
+            out,
+            "{name}: match {src}.get_field({name:?}) {{ \
+                 ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?, \
+                 ::std::option::Option::None => {missing}, \
+             }},",
+            name = f.name
+        );
+    }
+    out
+}
+
+/// Shared seq-length guard: binds `__seq` from `src` or errors.
+fn seq_guard(src: &str, n: usize, what: &str) -> String {
+    format!(
+        "let __seq = {src}.as_seq().ok_or_else(|| ::serde::DeError::invalid_type(\"sequence\", {src}))?; \
+         if __seq.len() != {n} {{ \
+             return ::std::result::Result::Err(::serde::DeError::custom(::std::format!( \
+                 \"expected {n} elements for {what}, got {{}}\", __seq.len()))); \
+         }}"
+    )
+}
+
+fn seq_field_reads(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?,"))
+        .collect()
+}
+
+fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::NewType => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{items}])")
+        }
+        Shape::Named(fields) => {
+            let entries = named_ser_entries(fields, |f| format!("self.{f}"));
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::NewType => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let guard = seq_guard("__v", *n, name);
+            let reads = seq_field_reads(*n);
+            format!("{guard} ::std::result::Result::Ok({name}({reads}))")
+        }
+        Shape::Named(fields) => {
+            let inits = named_de_inits(fields, "__v", name);
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                 {body} \
+             }} \
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        let arm = match &v.shape {
+            Shape::Unit => format!("{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"),
+            Shape::NewType => format!(
+                "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![({vn:?}.to_string(), \
+                 ::serde::Serialize::to_value(__f0))]),"
+            ),
+            Shape::Tuple(n) => {
+                let binds: String = (0..*n).map(|i| format!("__f{i},")).collect();
+                let items: String = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(__f{i}),"))
+                    .collect();
+                format!(
+                    "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![({vn:?}.to_string(), \
+                     ::serde::Value::Seq(::std::vec![{items}]))]),"
+                )
+            }
+            Shape::Named(fields) => {
+                let binds: String = fields.iter().map(|f| format!("{},", f.name)).collect();
+                let entries = named_ser_entries(fields, |f| f.to_string());
+                format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![({vn:?}.to_string(), \
+                     ::serde::Value::Map(::std::vec![{entries}]))]),"
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} \
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                let _ = write!(
+                    unit_arms,
+                    "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                );
+            }
+            Shape::NewType => {
+                let _ = write!(
+                    data_arms,
+                    "{vn:?} => ::std::result::Result::Ok({name}::{vn}( \
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                );
+            }
+            Shape::Tuple(n) => {
+                let guard = seq_guard("__inner", *n, &format!("{name}::{vn}"));
+                let reads = seq_field_reads(*n);
+                let _ = write!(
+                    data_arms,
+                    "{vn:?} => {{ {guard} ::std::result::Result::Ok({name}::{vn}({reads})) }}"
+                );
+            }
+            Shape::Named(fields) => {
+                let inits = named_de_inits(fields, "__inner", &format!("{name}::{vn}"));
+                let _ = write!(
+                    data_arms,
+                    "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                );
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                 match __v {{ \
+                     ::serde::Value::Str(__tag) => match __tag.as_str() {{ \
+                         {unit_arms} \
+                         _ => ::std::result::Result::Err(::serde::DeError::unknown_variant({name:?})), \
+                     }}, \
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                         let (__tag, __inner) = &__entries[0]; \
+                         match __tag.as_str() {{ \
+                             {data_arms} \
+                             _ => ::std::result::Result::Err(::serde::DeError::unknown_variant({name:?})), \
+                         }} \
+                     }}, \
+                     _ => ::std::result::Result::Err(::serde::DeError::invalid_type(\"enum\", __v)), \
+                 }} \
+             }} \
+         }}"
+    )
+}
+
+// -------------------------------------------------------------- entry points
+
+/// Derives the value-model `serde::Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, shape } => gen_struct_serialize(&name, &shape),
+        Input::Enum { name, variants } => gen_enum_serialize(&name, &variants),
+    };
+    code.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derives the value-model `serde::Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, shape } => gen_struct_deserialize(&name, &shape),
+        Input::Enum { name, variants } => gen_enum_deserialize(&name, &variants),
+    };
+    code.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

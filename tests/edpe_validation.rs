@@ -22,8 +22,7 @@ fn every_encoder_graph_compiles_and_matches_the_reference() {
                 compile_graph(graph).unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
             // Context programs must fit the streaming model the catalogue
             // charges for (the estimator splits longer programs).
-            let imp = map_to_cg(graph, &params)
-                .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
+            let imp = map_to_cg(graph, &params).unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
 
             // Functional equivalence on a few deterministic input vectors.
             for seed in 0u32..8 {

@@ -55,8 +55,16 @@ fn every_policy_executes_the_whole_trace() {
     let mut policies: Vec<Box<dyn RuntimePolicy>> = vec![
         Box::new(RiscOnlyPolicy::new()),
         Box::new(RisppPolicy::new()),
-        Box::new(LooselyCoupledPolicy::new(&bed.catalog, capacity, &bed.totals)),
-        Box::new(OfflineOptimalPolicy::new(&bed.catalog, capacity, &bed.totals)),
+        Box::new(LooselyCoupledPolicy::new(
+            &bed.catalog,
+            capacity,
+            &bed.totals,
+        )),
+        Box::new(OfflineOptimalPolicy::new(
+            &bed.catalog,
+            capacity,
+            &bed.totals,
+        )),
         Box::new(OnlineOptimalPolicy::new()),
         Box::new(Mrts::new()),
     ];
@@ -76,7 +84,11 @@ fn every_policy_executes_the_whole_trace() {
 #[test]
 fn policy_ordering_holds_on_multi_grained_machines() {
     let bed = bed();
-    for combo in [Resources::new(1, 1), Resources::new(2, 2), Resources::new(3, 2)] {
+    for combo in [
+        Resources::new(1, 1),
+        Resources::new(2, 2),
+        Resources::new(3, 2),
+    ] {
         let capacity = Machine::new(ArchParams::default(), combo)
             .expect("valid machine")
             .capacity();

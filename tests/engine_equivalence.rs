@@ -79,8 +79,7 @@ fn naive_run(
                 if eplan.install_mono {
                     if let Some(mono) = kernel.mono_cg() {
                         if !machine.is_resident(mono.unit.as_loaded_id(), Cycles::MAX) {
-                            let _ =
-                                machine.load_mono_cg(t, mono.unit.as_loaded_id(), mono.instrs);
+                            let _ = machine.load_mono_cg(t, mono.unit.as_loaded_id(), mono.instrs);
                         }
                     }
                 }
@@ -94,8 +93,7 @@ fn naive_run(
                     },
                     ExecMode::Ise(id) => {
                         let ise = catalog.ise(id).expect("known ise");
-                        let resident =
-                            |u: UnitId| machine.is_resident(u.as_loaded_id(), t);
+                        let resident = |u: UnitId| machine.is_resident(u.as_loaded_id(), t);
                         let latency = ise.latency_with(resident);
                         if latency == risc {
                             (ExecClass::RiscMode, latency)

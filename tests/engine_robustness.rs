@@ -2,14 +2,17 @@
 //! ISE ids, foreign kernels, monoCG requests without an extension,
 //! over-subscribed load plans. The engine must degrade every bad decision
 //! to RISC-mode (or count a rejected load) — never panic, never corrupt
-//! the statistics — plus a longer soak run for time monotonicity.
+//! the statistics — plus a longer soak run for time monotonicity and the
+//! fault-injection guarantees: exhausted retry budgets degrade to RISC,
+//! permanent container faults never lose executions, and a zero fault rate
+//! is bit-identical to the fault-free engine.
 
-use mrts::arch::{ArchParams, Cycles, Machine, Resources};
+use mrts::arch::{ArchParams, Cycles, FaultModel, Machine, Resources};
 use mrts::core::Mrts;
 use mrts::ise::{IseId, KernelId, UnitId};
 use mrts::sim::{
     BlockPlan, ExecClass, ExecContext, ExecMode, ExecPlan, RuntimePolicy, SelectionContext,
-    Simulator,
+    Simulator, LOAD_RETRY_BUDGET,
 };
 use mrts::workload::synthetic::{synthetic_trace, Pattern, ToyApp};
 use mrts::workload::{Scene, TraceBuilder, VideoModel, WorkloadModel};
@@ -49,7 +52,7 @@ impl RuntimePolicy for Liar {
         };
         BlockPlan {
             selections: ctx.forecast.iter().map(|t| (t.kernel, None)).collect(),
-            evict: vec![UnitId(9_999_999)], // nonexistent: must be ignored
+            evict: vec![UnitId::INVALID], // nonexistent: must be ignored
             load_order,
             overhead: Cycles::ZERO,
         }
@@ -122,6 +125,124 @@ fn oversubscribed_load_plan_counts_rejections() {
     assert_eq!(stats.total_executions(), 900);
 }
 
+/// Two runs with the same trace, machine configuration and fault seed must
+/// produce byte-identical serialized statistics — the whole simulation is a
+/// pure function of its seeds.
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let (catalog, trace) = setup();
+    let run = || {
+        let machine = Machine::with_fault_model(
+            ArchParams::default(),
+            Resources::new(1, 1),
+            FaultModel::new(0.01, 7),
+        )
+        .expect("valid machine");
+        let stats = Simulator::run(&catalog, machine, &trace, &mut Mrts::new());
+        serde_json::to_string(&stats).expect("stats serialize")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same-seed faulted runs diverged");
+
+    // The fault-free engine is equally deterministic.
+    let risc = || {
+        let stats = Simulator::run(
+            &catalog,
+            machine(),
+            &trace,
+            &mut mrts::sim::RiscOnlyPolicy::new(),
+        );
+        serde_json::to_string(&stats).expect("stats serialize")
+    };
+    assert_eq!(risc(), risc());
+}
+
+/// With a 100% CRC fault rate every load attempt fails, the engine burns its
+/// whole retry budget, and every execution must still complete — in
+/// RISC-mode, since nothing can ever become resident.
+#[test]
+fn exhausted_retry_budget_degrades_to_risc() {
+    let (catalog, trace) = setup();
+    let machine = Machine::with_fault_model(
+        ArchParams::default(),
+        Resources::new(1, 1),
+        FaultModel::with_rates(1.0, 0.0, 0.0, 3),
+    )
+    .expect("valid machine");
+    let stats = Simulator::run(&catalog, machine, &trace, &mut Mrts::new());
+    assert_eq!(stats.total_executions(), 900, "executions lost");
+    assert!(stats.failed_loads > 0, "no load ever faulted");
+    assert!(
+        stats.retried_loads >= u64::from(LOAD_RETRY_BUDGET),
+        "retry budget never exercised: {} retries",
+        stats.retried_loads
+    );
+    assert!(stats.recovery_cycles > Cycles::ZERO);
+    // Nothing ever became resident, so no accelerated class can appear.
+    let h = stats.class_histogram();
+    assert_eq!(h.get(&ExecClass::RiscMode), Some(&900));
+    assert_eq!(h.len(), 1);
+}
+
+/// Permanent container faults mid-run shrink the fabric but must never
+/// corrupt the execution count: every traced execution still happens, at
+/// worst in RISC-mode.
+#[test]
+fn permanent_fault_mid_run_preserves_total_executions() {
+    let (catalog, trace) = setup();
+    for seed in [1u64, 2, 3, 4, 5] {
+        let machine = Machine::with_fault_model(
+            ArchParams::default(),
+            Resources::new(2, 2),
+            FaultModel::with_rates(0.2, 0.0, 0.2, seed),
+        )
+        .expect("valid machine");
+        let stats = Simulator::run(&catalog, machine, &trace, &mut Mrts::new());
+        assert_eq!(
+            stats.total_executions(),
+            900,
+            "executions lost at fault seed {seed}"
+        );
+    }
+    // At least one of those seeds must actually have killed a container,
+    // otherwise the loop above proved nothing.
+    let killed: u64 = (1u64..=5)
+        .map(|seed| {
+            let machine = Machine::with_fault_model(
+                ArchParams::default(),
+                Resources::new(2, 2),
+                FaultModel::with_rates(0.2, 0.0, 0.2, seed),
+            )
+            .expect("valid machine");
+            Simulator::run(&catalog, machine, &trace, &mut Mrts::new()).blacklisted_containers
+        })
+        .sum();
+    assert!(killed > 0, "no permanent fault fired across five seeds");
+}
+
+/// A fault model armed with rate 0.0 must be bit-identical to no fault
+/// model at all — the zero-cost-default guarantee.
+#[test]
+fn zero_fault_rate_reproduces_fault_free_stats() {
+    let (catalog, trace) = setup();
+    let without = Simulator::run(&catalog, machine(), &trace, &mut Mrts::new());
+    let armed_machine = Machine::with_fault_model(
+        ArchParams::default(),
+        Resources::new(1, 1),
+        FaultModel::new(0.0, 12345),
+    )
+    .expect("valid machine");
+    let with = Simulator::run(&catalog, armed_machine, &trace, &mut Mrts::new());
+    assert_eq!(
+        serde_json::to_string(&without).expect("serialize"),
+        serde_json::to_string(&with).expect("serialize"),
+        "armed-but-zero fault model changed behaviour"
+    );
+    assert_eq!(with.failed_loads, 0);
+    assert_eq!(with.degraded_executions, 0);
+}
+
 #[test]
 fn soak_long_video_is_stable_and_monotonic() {
     // 64 frames of alternating scenes through the full encoder pipeline.
@@ -150,7 +271,11 @@ fn soak_long_video_is_stable_and_monotonic() {
     for b in &stats.blocks {
         assert!(b.makespan >= b.selection_overhead);
     }
-    assert!(sim.now().get() > 100_000_000, "clock advanced: {}", sim.now());
+    assert!(
+        sim.now().get() > 100_000_000,
+        "clock advanced: {}",
+        sim.now()
+    );
     // Executions match the trace exactly.
     let expected: u64 = trace
         .activations()

@@ -4,7 +4,9 @@
 //! orderings, regions and bounds are.
 
 use mrts::arch::{ArchParams, Cycles, FabricKind, Machine, Resources};
-use mrts::baselines::{LooselyCoupledPolicy, OfflineOptimalPolicy, OnlineOptimalPolicy, ProfiledTotals};
+use mrts::baselines::{
+    LooselyCoupledPolicy, OfflineOptimalPolicy, OnlineOptimalPolicy, ProfiledTotals,
+};
 use mrts::core::Mrts;
 use mrts::ise::{Grain, Ise, IseCatalog};
 use mrts::sim::{RiscOnlyPolicy, RuntimePolicy, Simulator};
@@ -70,7 +72,9 @@ fn fig1_regions_appear_in_paper_order() {
             ise2.performance_improvement_factor(e, recfg[1]),
             ise3.performance_improvement_factor(e, recfg[2]),
         ];
-        let best = (0..3).max_by(|a, b| pifs[*a].total_cmp(&pifs[*b])).expect("three");
+        let best = (0..3)
+            .max_by(|a, b| pifs[*a].total_cmp(&pifs[*b]))
+            .expect("three");
         if regions.last() != Some(&best) {
             regions.push(best);
         }
@@ -108,7 +112,12 @@ fn fig2_best_ise_changes_across_frames() {
     );
 }
 
-fn run(catalog: &IseCatalog, trace: &mrts::workload::Trace, combo: Resources, p: &mut dyn RuntimePolicy) -> u64 {
+fn run(
+    catalog: &IseCatalog,
+    trace: &mrts::workload::Trace,
+    combo: Resources,
+    p: &mut dyn RuntimePolicy,
+) -> u64 {
     let machine = Machine::new(ArchParams::default(), combo).expect("valid machine");
     Simulator::run(catalog, machine, trace, p)
         .total_execution_time()
@@ -126,7 +135,9 @@ fn fig8_orderings_and_applicability() {
 
     // MG machine: mRTS beats both static schemes clearly.
     let combo = Resources::new(2, 2);
-    let capacity = Machine::new(ArchParams::default(), combo).expect("m").capacity();
+    let capacity = Machine::new(ArchParams::default(), combo)
+        .expect("m")
+        .capacity();
     let mrts = run(&catalog, &trace, combo, &mut Mrts::new());
     let offline = run(
         &catalog,
@@ -140,13 +151,21 @@ fn fig8_orderings_and_applicability() {
         combo,
         &mut LooselyCoupledPolicy::new(&catalog, capacity, &totals),
     );
-    assert!(mrts as f64 * 1.25 < offline as f64, "mRTS well ahead of offline-optimal");
-    assert!(mrts as f64 * 1.25 < morpheus as f64, "mRTS well ahead of Morpheus/4S");
+    assert!(
+        mrts as f64 * 1.25 < offline as f64,
+        "mRTS well ahead of offline-optimal"
+    );
+    assert!(
+        mrts as f64 * 1.25 < morpheus as f64,
+        "mRTS well ahead of Morpheus/4S"
+    );
 
     // Applicability (Section 5.2): on a single-fabric machine mRTS
     // collapses to the loosely coupled paradigm — results become similar.
     let fg_only = Resources::prc_only(2);
-    let cap_fg = Machine::new(ArchParams::default(), fg_only).expect("m").capacity();
+    let cap_fg = Machine::new(ArchParams::default(), fg_only)
+        .expect("m")
+        .capacity();
     let mrts_fg = run(&catalog, &trace, fg_only, &mut Mrts::new()) as f64;
     let morph_fg = run(
         &catalog,
@@ -168,7 +187,12 @@ fn fig9_heuristic_close_to_optimal_in_improvement_terms() {
     let trace = TraceBuilder::new(&encoder)
         .video(VideoModel::paper_default(1))
         .build();
-    let risc = run(&catalog, &trace, Resources::NONE, &mut RiscOnlyPolicy::new()) as f64;
+    let risc = run(
+        &catalog,
+        &trace,
+        Resources::NONE,
+        &mut RiscOnlyPolicy::new(),
+    ) as f64;
     let mut worst: f64 = 0.0;
     for combo in [
         Resources::new(1, 1),
@@ -192,7 +216,12 @@ fn fig10_speedups_by_grain_group() {
     let trace = TraceBuilder::new(&encoder)
         .video(VideoModel::paper_default(1))
         .build();
-    let risc = run(&catalog, &trace, Resources::NONE, &mut RiscOnlyPolicy::new()) as f64;
+    let risc = run(
+        &catalog,
+        &trace,
+        Resources::NONE,
+        &mut RiscOnlyPolicy::new(),
+    ) as f64;
     let speedup = |combo| risc / run(&catalog, &trace, combo, &mut Mrts::new()) as f64;
 
     let fg3 = speedup(Resources::prc_only(3));

@@ -7,7 +7,9 @@ use mrts::arch::{ArchParams, Cycles, ReconfigurationController, Resources};
 use mrts::baselines::dp_optimal_selection;
 use mrts::core::selector::{select_ises, SelectorConfig};
 use mrts::ise::datapath::{DataPathGraph, OpKind};
-use mrts::ise::{CatalogBuilder, IseCatalog, KernelId, KernelSpec, TriggerBlock, TriggerInstruction, UnitId};
+use mrts::ise::{
+    CatalogBuilder, IseCatalog, KernelId, KernelSpec, TriggerBlock, TriggerInstruction, UnitId,
+};
 use proptest::prelude::*;
 
 /// A random but always-valid data-path graph: a chain seeded from one or
