@@ -57,7 +57,7 @@ pub use cg::{CgEdpe, CgFabric, ContextMemory, EdpeId, EdpeState, OpClass};
 pub use clock::{ClockDomain, Cycles, Frequency};
 pub use error::ArchError;
 pub use fault::{FaultKind, FaultModel, LoadFault};
-pub use fg::{FgFabric, Prc, PrcId, PrcState};
+pub use fg::{FgFabric, LoadedId, Prc, PrcId, PrcState};
 pub use machine::Machine;
 pub use params::ArchParams;
 pub use reconfig::{FabricKind, LoadRequest, LoadTicket, ReconfigurationController};

@@ -221,6 +221,15 @@ impl ReconfigurationController {
             .map(|t| t.ready_at)
     }
 
+    /// Every transfer still tracked (queued or streaming), FG port first —
+    /// the iteration order [`Self::pending_ready_time`] resolves duplicate
+    /// ids in. Read-only view for memoized ready-time prediction: the
+    /// selector's per-round profit memo snapshots it once per commit round
+    /// instead of scanning the queues per candidate.
+    pub fn inflight_tickets(&self) -> impl Iterator<Item = &LoadTicket> {
+        self.fg.inflight.iter().chain(self.cg.inflight.iter())
+    }
+
     /// Completion timestamps of every transfer still tracked on either port
     /// (the residency-change *epoch boundaries* the simulator fast-forwards
     /// between), ascending.

@@ -79,9 +79,9 @@ impl RuntimePolicy for RisppPolicy {
         let machine: &Machine = ctx.machine;
         let now = ctx.now;
         let resident = move |u: UnitId| machine.is_resident(u.as_loaded_id(), now);
-        let profit = |ise: &Ise,
-                      trigger: &mrts_ise::TriggerInstruction,
-                      _shadow: &mrts_arch::ReconfigurationController| {
+        let mut profit = |ise: &Ise,
+                          trigger: &mrts_ise::TriggerInstruction,
+                          _shadow: &mrts_arch::ReconfigurationController| {
             if ise.is_mono_extension() {
                 // The monoCG-Extension is an mRTS novelty; RISPP's
                 // catalogue has no such candidates.
@@ -97,7 +97,7 @@ impl RuntimePolicy for RisppPolicy {
             ctx.machine.controller(),
             ctx.now,
             &self.selector,
-            &profit,
+            &mut profit,
         );
 
         let need: Resources = selection

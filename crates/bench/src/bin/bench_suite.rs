@@ -1,0 +1,249 @@
+//! `bench_suite` — perf-regression tracking for the harness itself.
+//!
+//! Unlike the figure binaries (which verify the *paper's* numbers), this
+//! binary times the *reproduction*: the Fig. 8 fabric sweep serial vs.
+//! parallel, the per-selection cost of the lazy-greedy selector vs. the
+//! full-rescan oracle, and raw simulator throughput. It writes the
+//! measurements to `BENCH_perf.json` (schema: a list of `{name, value,
+//! unit, threads, seed}` entries) so every future PR has a perf
+//! trajectory to diff against.
+//!
+//! Flags:
+//!
+//! * `--quick`    — reduced workload for CI smoke runs (small sweep,
+//!   few repetitions); entry names are unchanged so diffs line up.
+//! * `--threads N` / `MRTS_BENCH_THREADS=N` — worker count for the
+//!   parallel sweep measurement (the serial one always uses 1).
+//! * `--out PATH` — where to write the JSON (default `BENCH_perf.json`).
+//!
+//! Wall-clock numbers depend on the machine; the `*_evals` entries are
+//! deterministic and act as machine-independent regression tripwires.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mrts_arch::{ArchParams, Cycles, ReconfigurationController, Resources};
+use mrts_bench::{fig8_combos, par, print_header, Testbed, DEFAULT_SEED};
+use mrts_core::selector::{select_ises, SelectorConfig};
+use mrts_core::Mrts;
+use mrts_ise::{BlockId, IseCatalog, TriggerBlock, TriggerInstruction, UnitId};
+use mrts_workload::h264::h264_application;
+
+/// One measurement row of `BENCH_perf.json`.
+struct Entry {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+    threads: usize,
+}
+
+fn forecast(catalog: &IseCatalog, kernels: usize) -> TriggerBlock {
+    let triggers = catalog
+        .kernels()
+        .iter()
+        .take(kernels)
+        .map(|k| TriggerInstruction::new(k.id(), 4_000, Cycles::new(1_000), Cycles::new(300)))
+        .collect();
+    TriggerBlock::new(BlockId(0), triggers)
+}
+
+fn none_resident(_: UnitId) -> bool {
+    false
+}
+
+/// Times `select_ises` on the standard encoder catalogue (7 kernels,
+/// the largest Fig. 8 machine: 4 CG + 3 PRCs, where the selection runs
+/// several commit rounds and the lazy evaluation saving is visible) and
+/// returns `(mean_us, candidates_evaluated)` for one configuration.
+fn time_selection(config: &SelectorConfig, reps: usize) -> (f64, f64) {
+    let catalog = h264_application()
+        .build_catalog(ArchParams::default(), None)
+        .expect("encoder kernels are mappable");
+    let block = forecast(&catalog, 7);
+    let rc = ReconfigurationController::new();
+    let budget = Resources::new(4, 3);
+    let sel = select_ises(
+        &catalog,
+        &block,
+        budget,
+        &none_resident,
+        &rc,
+        Cycles::ZERO,
+        config,
+    );
+    let start = Instant::now();
+    for _ in 0..reps {
+        let s = select_ises(
+            &catalog,
+            &block,
+            budget,
+            &none_resident,
+            &rc,
+            Cycles::ZERO,
+            config,
+        );
+        assert_eq!(s.candidates_evaluated, sel.candidates_evaluated);
+    }
+    let mean_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    (mean_us, sel.candidates_evaluated as f64)
+}
+
+#[allow(clippy::cast_precision_loss, clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map_or_else(
+            || {
+                args.iter()
+                    .find_map(|a| a.strip_prefix("--out=").map(str::to_owned))
+            },
+            |i| args.get(i + 1).cloned(),
+        )
+        .unwrap_or_else(|| "BENCH_perf.json".to_owned());
+
+    print_header(
+        "bench_suite",
+        if quick {
+            "harness perf tracking (--quick: CI smoke workload)"
+        } else {
+            "harness perf tracking (sweep, selection, simulator)"
+        },
+        DEFAULT_SEED,
+    );
+
+    let tb = Testbed::new(DEFAULT_SEED);
+    let config = par::ThreadConfig::from_env_and_args();
+    let combos = {
+        let all = fig8_combos();
+        if quick {
+            all.into_iter().take(6).collect::<Vec<_>>()
+        } else {
+            all
+        }
+    };
+    let par_threads = config.effective(combos.len());
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // --- 1. Fig. 8 sweep: serial vs parallel wall-clock -----------------
+    let serial_start = Instant::now();
+    let serial = par::map_ordered(1, &combos, |_, &c| tb.run_fig8_contenders(c));
+    let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+    let par_start = Instant::now();
+    let parallel = par::map_ordered(par_threads, &combos, |_, &c| tb.run_fig8_contenders(c));
+    let par_ms = par_start.elapsed().as_secs_f64() * 1e3;
+    // Determinism cross-check while we have both result sets in hand.
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.4.total_execution_time(),
+            p.4.total_execution_time(),
+            "parallel sweep diverged from serial"
+        );
+    }
+    let speedup = serial_ms / par_ms.max(1e-9);
+    println!(
+        "fig8 sweep ({} combos): serial {serial_ms:>8.1} ms, parallel {par_ms:>8.1} ms \
+         ({par_threads} threads, {speedup:.2}x)",
+        combos.len()
+    );
+    entries.push(Entry {
+        name: "fig8_sweep_serial_ms",
+        value: serial_ms,
+        unit: "ms",
+        threads: 1,
+    });
+    entries.push(Entry {
+        name: "fig8_sweep_parallel_ms",
+        value: par_ms,
+        unit: "ms",
+        threads: par_threads,
+    });
+    entries.push(Entry {
+        name: "fig8_sweep_speedup",
+        value: speedup,
+        unit: "x",
+        threads: par_threads,
+    });
+
+    // --- 2. Per-selection cost: lazy-greedy vs full-rescan oracle -------
+    let reps = if quick { 50 } else { 2_000 };
+    let (lazy_us, lazy_evals) = time_selection(&SelectorConfig::default(), reps);
+    let (full_us, full_evals) = time_selection(
+        &SelectorConfig {
+            full_rescan: true,
+            ..SelectorConfig::default()
+        },
+        reps,
+    );
+    println!(
+        "selection (7 kernels, 4 CG + 3 PRC, {reps} reps): lazy {lazy_us:>7.2} us \
+         ({lazy_evals:.0} evals), full-rescan {full_us:>7.2} us ({full_evals:.0} evals)"
+    );
+    entries.push(Entry {
+        name: "selection_lazy_us",
+        value: lazy_us,
+        unit: "us",
+        threads: 1,
+    });
+    entries.push(Entry {
+        name: "selection_full_rescan_us",
+        value: full_us,
+        unit: "us",
+        threads: 1,
+    });
+    entries.push(Entry {
+        name: "selection_lazy_evals",
+        value: lazy_evals,
+        unit: "evals",
+        threads: 1,
+    });
+    entries.push(Entry {
+        name: "selection_full_rescan_evals",
+        value: full_evals,
+        unit: "evals",
+        threads: 1,
+    });
+
+    // --- 3. Simulator throughput (whole-trace mRTS run) -----------------
+    let sim_reps = if quick { 1 } else { 5 };
+    let combo = Resources::new(2, 2);
+    let sim_start = Instant::now();
+    for _ in 0..sim_reps {
+        let stats = tb.run(combo, &mut Mrts::new());
+        assert!(stats.total_busy().get() > 0);
+    }
+    let per_run = sim_start.elapsed().as_secs_f64() / sim_reps as f64;
+    let blocks_per_s = tb.trace.len() as f64 / per_run.max(1e-12);
+    println!(
+        "simulator: {} blocks in {:.1} ms per run -> {blocks_per_s:>10.0} blocks/s",
+        tb.trace.len(),
+        per_run * 1e3
+    );
+    entries.push(Entry {
+        name: "simulator_throughput",
+        value: blocks_per_s,
+        unit: "blocks/s",
+        threads: 1,
+    });
+
+    // --- Write BENCH_perf.json (stable field order, hand-rendered) ------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"suite\": \"mrts-bench\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\", \
+             \"threads\": {}, \"seed\": {} }}{comma}",
+            e.name, e.value, e.unit, e.threads, DEFAULT_SEED
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
+    println!("{}", "-".repeat(64));
+    println!("wrote {} entries to {out_path}", entries.len());
+}

@@ -22,7 +22,7 @@
 
 use mrts_arch::{FaultModel, Resources};
 use mrts_baselines::{OfflineOptimalPolicy, RisppPolicy};
-use mrts_bench::{geo_mean, print_header, Testbed, DEFAULT_SEED};
+use mrts_bench::{geo_mean, par, print_header, Testbed, DEFAULT_SEED};
 use mrts_core::Mrts;
 use mrts_sim::{RiscOnlyPolicy, RunStats};
 
@@ -57,12 +57,19 @@ fn main() {
     );
     println!("{}", "-".repeat(88));
 
-    let mut retained_mrts = Vec::new();
-    let mut retained_rispp = Vec::new();
-    for rate in RATES {
-        let mut sp = [Vec::new(), Vec::new(), Vec::new()];
-        let mut fault_tally = (0u64, 0u64, 0u64, 0u64, 0.0f64);
-        for seed in FAULT_SEEDS {
+    // Flat (rate, seed) job list: each cell runs the three fault-injected
+    // policies independently (seeded fault models, shared read-only testbed),
+    // so the 27 cells fan out across workers; the per-rate tallies are folded
+    // serially below in input order — the printed f64 sums see the seeds in
+    // the same order as the old nested loop, keeping the table byte-identical.
+    let cells: Vec<(f64, u64)> = RATES
+        .iter()
+        .flat_map(|&rate| FAULT_SEEDS.iter().map(move |&seed| (rate, seed)))
+        .collect();
+    let runs = par::sweep(
+        par::ThreadConfig::from_env_and_args(),
+        &cells,
+        |_, &(rate, seed)| {
             let fm = || FaultModel::new(rate, seed);
             let rispp = tb.run_with_faults(combo, fm(), &mut RisppPolicy::new());
             let offline = tb.run_with_faults(
@@ -71,20 +78,33 @@ fn main() {
                 &mut OfflineOptimalPolicy::new(&tb.catalog, capacity, &tb.totals),
             );
             let mrts = tb.run_with_faults(combo, fm(), &mut Mrts::new());
-            sp[0].push(speedup(&rispp));
-            sp[1].push(speedup(&offline));
-            sp[2].push(speedup(&mrts));
-            fault_tally.0 += mrts.failed_loads;
-            fault_tally.1 += mrts.retried_loads;
-            fault_tally.2 += mrts.blacklisted_containers;
-            fault_tally.3 += mrts.degraded_executions;
-            fault_tally.4 += mrts.recovery_cycles.as_mcycles();
             // Recovery accounting must never lose executions.
             assert_eq!(
                 mrts.total_executions(),
                 risc.total_executions(),
                 "executions lost at rate {rate} seed {seed}"
             );
+            (speedup(&rispp), speedup(&offline), mrts)
+        },
+    );
+
+    let mut retained_mrts = Vec::new();
+    let mut retained_rispp = Vec::new();
+    let mut cell = 0usize;
+    for rate in RATES {
+        let mut sp = [Vec::new(), Vec::new(), Vec::new()];
+        let mut fault_tally = (0u64, 0u64, 0u64, 0u64, 0.0f64);
+        for _seed in FAULT_SEEDS {
+            let (sp_rispp, sp_offline, mrts) = &runs[cell];
+            cell += 1;
+            sp[0].push(*sp_rispp);
+            sp[1].push(*sp_offline);
+            sp[2].push(speedup(mrts));
+            fault_tally.0 += mrts.failed_loads;
+            fault_tally.1 += mrts.retried_loads;
+            fault_tally.2 += mrts.blacklisted_containers;
+            fault_tally.3 += mrts.degraded_executions;
+            fault_tally.4 += mrts.recovery_cycles.as_mcycles();
         }
         let n = FAULT_SEEDS.len() as u64;
         println!(

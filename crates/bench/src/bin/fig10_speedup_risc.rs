@@ -7,7 +7,7 @@
 //! considerably larger single-fabric machines.
 
 use mrts_arch::Resources;
-use mrts_bench::{mean, print_header, Testbed, DEFAULT_SEED};
+use mrts_bench::{mean, par, print_header, Testbed, DEFAULT_SEED};
 use mrts_core::Mrts;
 use mrts_sim::RiscOnlyPolicy;
 
@@ -21,7 +21,7 @@ fn main() {
     let risc = tb.run(Resources::NONE, &mut RiscOnlyPolicy::new());
     let risc_time = risc.total_execution_time().get() as f64;
 
-    let mut groups: Vec<(&str, Vec<Resources>)> = vec![
+    let groups: Vec<(&str, Vec<Resources>)> = vec![
         ("FG-only", (1..=3).map(Resources::prc_only).collect()),
         ("CG-only", (1..=3).map(Resources::cg_only).collect()),
         (
@@ -39,13 +39,34 @@ fn main() {
         ),
     ];
 
+    // One flat job list across every group; each cell is an independent
+    // deterministic mRTS run. Results come back in input order, so the
+    // grouped table below prints identical bytes for any `--threads`.
+    let all_combos: Vec<Resources> = groups.iter().flat_map(|(_, c)| c.iter().copied()).collect();
+    let speedup_of: Vec<f64> = par::sweep(
+        par::ThreadConfig::from_env_and_args(),
+        &all_combos,
+        |_, &combo| {
+            let stats = tb.run(combo, &mut Mrts::new());
+            risc_time / stats.total_execution_time().get() as f64
+        },
+    );
+    let lookup = |combo: Resources| -> f64 {
+        let i = all_combos
+            .iter()
+            .position(|&c| c == combo)
+            .expect("headline combos are part of the sweep");
+        speedup_of[i]
+    };
+
     let mut group_means = Vec::new();
-    for (name, combos) in &mut groups {
+    let mut cell = 0usize;
+    for (name, combos) in &groups {
         println!("--- {name} ---");
         let mut speedups = Vec::new();
         for combo in combos.iter() {
-            let stats = tb.run(*combo, &mut Mrts::new());
-            let s = risc_time / stats.total_execution_time().get() as f64;
+            let s = speedup_of[cell];
+            cell += 1;
             speedups.push(s);
             let bar = "#".repeat((s * 10.0) as usize);
             println!(
@@ -55,7 +76,7 @@ fn main() {
             );
         }
         let m = mean(&speedups);
-        group_means.push((name.to_owned(), m, speedups));
+        group_means.push(((*name).to_owned(), m, speedups));
         println!("  group mean: {m:.2}x");
     }
     println!("{}", "-".repeat(64));
@@ -65,18 +86,11 @@ fn main() {
     println!("multi-grained: up to {mg_max:.2}x (paper: more than 5x)");
 
     // The paper's headline comparison: 1 PRC + 1 CG vs 3 PRCs / 3 CGs.
-    let small_mg = risc_time
-        / tb.run(Resources::new(1, 1), &mut Mrts::new())
-            .total_execution_time()
-            .get() as f64;
-    let three_prc = risc_time
-        / tb.run(Resources::prc_only(3), &mut Mrts::new())
-            .total_execution_time()
-            .get() as f64;
-    let three_cg = risc_time
-        / tb.run(Resources::cg_only(3), &mut Mrts::new())
-            .total_execution_time()
-            .get() as f64;
+    // The three machines are already cells of the sweep (deterministic:
+    // rerunning them would reproduce the same stats bit for bit).
+    let small_mg = lookup(Resources::new(1, 1));
+    let three_prc = lookup(Resources::prc_only(3));
+    let three_cg = lookup(Resources::cg_only(3));
     println!(
         "1 CG + 1 PRC: {small_mg:.2}x vs 3 PRCs: {three_prc:.2}x vs 3 CGs: {three_cg:.2}x \
          (paper: the small mixed machine performs significantly better)"

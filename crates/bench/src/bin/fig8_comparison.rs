@@ -10,7 +10,7 @@
 //! ≈2.2×) than offline-optimal; parity with RISPP at CG = 0 and with
 //! Morpheus/4S on single-fabric machines.
 
-use mrts_bench::{fig8_combos, geo_mean, mcycles, print_header, Testbed, DEFAULT_SEED};
+use mrts_bench::{fig8_combos, geo_mean, mcycles, par, print_header, Testbed, DEFAULT_SEED};
 
 fn main() {
     print_header(
@@ -29,12 +29,20 @@ fn main() {
     let mut sp_rispp = Vec::new();
     let mut sp_off = Vec::new();
     let mut sp_morph = Vec::new();
-    for combo in fig8_combos() {
-        let (risc, rispp, offline, morpheus, mrts) = tb.run_fig8_contenders(combo);
+    // Every (combo × 5 policies) cell is independent and deterministic:
+    // fan them out, then print in input order (byte-identical for any
+    // `--threads`, see `mrts_bench::par`).
+    let combos = fig8_combos();
+    let cells = par::sweep(
+        par::ThreadConfig::from_env_and_args(),
+        &combos,
+        |_, &combo| tb.run_fig8_contenders(combo),
+    );
+    for (combo, (risc, rispp, offline, morpheus, mrts)) in combos.iter().copied().zip(&cells) {
         let t = |s: &mrts_sim::RunStats| s.total_execution_time();
-        let x_rispp = t(&rispp).get() as f64 / t(&mrts).get() as f64;
-        let x_off = t(&offline).get() as f64 / t(&mrts).get() as f64;
-        let x_morph = t(&morpheus).get() as f64 / t(&mrts).get() as f64;
+        let x_rispp = t(rispp).get() as f64 / t(mrts).get() as f64;
+        let x_off = t(offline).get() as f64 / t(mrts).get() as f64;
+        let x_morph = t(morpheus).get() as f64 / t(mrts).get() as f64;
         if !combo.is_empty() {
             sp_rispp.push(x_rispp);
             sp_off.push(x_off);
@@ -44,11 +52,11 @@ fn main() {
             "{:>5} {:>4} | {} {} {} {} {} | {:>7.2} {:>7.2} {:>7.2}",
             combo.cg(),
             combo.prc(),
-            mcycles(t(&risc)),
-            mcycles(t(&rispp)),
-            mcycles(t(&offline)),
-            mcycles(t(&morpheus)),
-            mcycles(t(&mrts)),
+            mcycles(t(risc)),
+            mcycles(t(rispp)),
+            mcycles(t(offline)),
+            mcycles(t(morpheus)),
+            mcycles(t(mrts)),
             x_rispp,
             x_off,
             x_morph,

@@ -13,7 +13,7 @@
 //! equally between the two most important kernels"* (paper: ≈11% worst
 //! case, ≈3% with ≥1 CG fabric).
 
-use mrts_bench::{fig9_combos, mean, print_header, Testbed, DEFAULT_SEED};
+use mrts_bench::{fig9_combos, mean, par, print_header, Testbed, DEFAULT_SEED};
 
 fn main() {
     print_header(
@@ -39,11 +39,19 @@ fn main() {
     let mut with_cg = Vec::new();
     let mut fg_only = Vec::new();
     let mut worst = (0.0f64, mrts_arch::Resources::NONE);
-    for combo in fig9_combos() {
-        if combo.is_empty() {
-            continue;
-        }
-        let (mrts, optimal) = tb.run_fig9_pair(combo);
+    // The 28 (greedy, online-optimal) pairs are independent deterministic
+    // cells — including the exhaustive optimal, the sweep's straggler —
+    // so fan them out and fold the table serially in input order.
+    let combos: Vec<mrts_arch::Resources> = fig9_combos()
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .collect();
+    let pairs = par::sweep(
+        par::ThreadConfig::from_env_and_args(),
+        &combos,
+        |_, &combo| tb.run_fig9_pair(combo),
+    );
+    for (combo, (mrts, optimal)) in combos.iter().copied().zip(&pairs) {
         let m = mrts.total_execution_time().get() as f64;
         let o = optimal.total_execution_time().get() as f64;
         // Fig. 9's metric: percentage difference between the performance

@@ -12,14 +12,25 @@
 //! | `overhead_mrts` | Section 5.4 — selection cost and overhead fraction |
 //! | `ablation_design_choices` | extra — monoCG / MPU / copies ablations |
 //! | `fault_sweep` | extra — speedup retention under injected hardware faults |
+//! | `bench_suite` | extra — perf-regression tracking (`BENCH_perf.json`) |
 //!
 //! This library holds the pieces the binaries share: the fabric-combination
-//! sweep, policy construction and run helpers, and plain-text table
-//! printing. Everything is deterministic (fixed seeds) so figure output is
-//! reproducible bit for bit.
+//! sweep, policy construction and run helpers, the order-preserving
+//! parallel sweep runner ([`par`]) and plain-text table printing.
+//! Everything is deterministic (fixed seeds) so figure output is
+//! reproducible bit for bit — including across `--threads` settings: cells
+//! are computed in parallel but assembled and printed in input order, so
+//! `--threads 1` and `--threads N` emit identical bytes.
+//!
+//! The `bench_suite` binary times the harness itself (sweep wall-clock
+//! serial vs parallel, per-selection cost, simulator throughput) and writes
+//! `BENCH_perf.json` so every future PR has a perf trajectory to diff
+//! against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod par;
 
 use mrts_arch::{ArchParams, Cycles, FaultModel, Machine, Resources};
 use mrts_baselines::{

@@ -1,0 +1,238 @@
+//! Order-preserving, deterministic parallel fan-out for figure sweeps.
+//!
+//! Every figure of the paper's evaluation is a sweep of *independent*
+//! deterministic cells — Fig. 8 alone runs 20 fabric combinations × 5
+//! policies, Fig. 9 runs the exhaustive online-optimal on 28 combinations —
+//! and each cell builds its own [`mrts_arch::Machine`] and policy while the
+//! [`crate::Testbed`]'s catalogue and trace are shared read-only. This
+//! module maps a slice of such jobs across `min(available_parallelism,
+//! jobs)` scoped worker threads ([`std::thread::scope`]; no external
+//! dependencies) and returns the results **in input order**, so a figure's
+//! text output is byte-identical whatever the worker count — the
+//! determinism contract DESIGN.md §7 spells out.
+//!
+//! The worker count is controlled by `--threads N` on every figure binary
+//! (parsed by [`ThreadConfig::from_env_and_args`]) or the
+//! `MRTS_BENCH_THREADS` environment variable; `--threads 1` /
+//! `MRTS_BENCH_THREADS=1` is the escape hatch that forces the serial path
+//! (no worker threads are spawned at all).
+//!
+//! ```
+//! use mrts_bench::par;
+//!
+//! let jobs: Vec<u64> = (0..32).collect();
+//! let squares = par::map_ordered(4, &jobs, |_, &j| j * j);
+//! assert_eq!(squares[31], 31 * 31);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Worker-count policy of a sweep run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadConfig {
+    /// An explicit request (`--threads N` / `MRTS_BENCH_THREADS=N`);
+    /// `None` means "use every available core".
+    pub requested: Option<usize>,
+}
+
+impl ThreadConfig {
+    /// Configuration from the process environment: `--threads N` (or
+    /// `--threads=N`) in the argument list wins over the
+    /// `MRTS_BENCH_THREADS` environment variable; with neither present the
+    /// sweep uses all available cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) if `--threads` is present without a
+    /// positive integer value — a figure run with a silently mis-parsed
+    /// worker count would be hard to trust.
+    #[must_use]
+    pub fn from_env_and_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::parse(&args, std::env::var("MRTS_BENCH_THREADS").ok().as_deref())
+    }
+
+    /// Testable core of [`Self::from_env_and_args`].
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::from_env_and_args`].
+    #[must_use]
+    pub fn parse(args: &[String], env: Option<&str>) -> Self {
+        let mut requested = env.map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| panic!("MRTS_BENCH_THREADS must be a positive integer, got {v}"))
+        });
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let value = if a == "--threads" {
+                Some(
+                    it.next()
+                        .unwrap_or_else(|| panic!("--threads requires a value"))
+                        .as_str(),
+                )
+            } else {
+                a.strip_prefix("--threads=")
+            };
+            if let Some(v) = value {
+                requested = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| panic!("--threads must be a positive integer, got {v}")),
+                );
+            }
+        }
+        ThreadConfig { requested }
+    }
+
+    /// The worker count to use for `jobs` cells: the explicit request if
+    /// any, else every available core — never more workers than jobs and
+    /// never zero.
+    #[must_use]
+    pub fn effective(&self, jobs: usize) -> usize {
+        let cap = self.requested.unwrap_or_else(|| {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        cap.min(jobs).max(1)
+    }
+}
+
+impl Default for ThreadConfig {
+    fn default() -> Self {
+        Self::from_env_and_args()
+    }
+}
+
+/// Maps `f` over `jobs` on up to `threads` scoped workers and returns the
+/// results **in input order**. `f` receives `(index, &job)` so a cell can
+/// know its position without threading it through the job type.
+///
+/// With `threads <= 1` (or fewer than two jobs) no worker threads are
+/// spawned and the jobs run serially on the caller's thread — the
+/// `--threads 1` escape hatch is genuinely the old serial code path.
+/// Work is distributed dynamically (an atomic cursor), so stragglers —
+/// e.g. Fig. 9's online-optimal on large fabrics — don't idle the pool.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn map_ordered<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|s| {
+        for _ in 0..threads.min(jobs.len()) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let r = f(i, job);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by the worker pool")
+        })
+        .collect()
+}
+
+/// [`map_ordered`] with the worker count taken from a [`ThreadConfig`].
+pub fn sweep<J, R, F>(config: ThreadConfig, jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    map_ordered(config.effective(jobs.len()), jobs, f)
+}
+
+// The whole parallel harness rests on the testbed being shareable
+// read-only; keep that a compile-time fact.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<crate::Testbed>();
+    assert_sync::<ThreadConfig>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let jobs: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = map_ordered(threads, &jobs, |i, &j| {
+                // Stagger completion so late slots finish first if ordering
+                // were by completion time.
+                if j % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                assert_eq!(i, j);
+                j * 3
+            });
+            assert_eq!(out, jobs.iter().map(|j| j * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let jobs: Vec<u64> = (0..40).collect();
+        let f = |_: usize, &j: &u64| format!("cell {j:>4} -> {:.6}", (j as f64).sqrt());
+        let serial = map_ordered(1, &jobs, f);
+        let parallel = map_ordered(6, &jobs, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_and_single_job_edge_cases() {
+        let none: Vec<u32> = Vec::new();
+        assert!(map_ordered(4, &none, |_, &j| j).is_empty());
+        assert_eq!(map_ordered(4, &[9u32], |_, &j| j + 1), vec![10]);
+    }
+
+    #[test]
+    fn thread_config_parsing_precedence() {
+        let args = |s: &[&str]| s.iter().map(|x| (*x).to_owned()).collect::<Vec<_>>();
+        assert_eq!(ThreadConfig::parse(&args(&["bin"]), None).requested, None);
+        assert_eq!(
+            ThreadConfig::parse(&args(&["bin"]), Some("3")).requested,
+            Some(3)
+        );
+        // args win over the environment, last flag wins.
+        assert_eq!(
+            ThreadConfig::parse(&args(&["bin", "--threads", "2"]), Some("3")).requested,
+            Some(2)
+        );
+        assert_eq!(
+            ThreadConfig::parse(&args(&["bin", "--threads=4", "--threads", "5"]), None).requested,
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn effective_caps_at_jobs_and_floors_at_one() {
+        let c = ThreadConfig { requested: Some(8) };
+        assert_eq!(c.effective(3), 3);
+        assert_eq!(c.effective(0), 1);
+        assert_eq!(c.effective(100), 8);
+        let one = ThreadConfig { requested: Some(1) };
+        assert_eq!(one.effective(100), 1);
+    }
+}

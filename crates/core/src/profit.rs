@@ -23,9 +23,10 @@
 //! formulation is exact for µs-scale CG loads too — the distinction the
 //! paper identifies as the key weakness of prior run-time systems.
 
-use mrts_arch::{Cycles, LoadRequest, ReconfigurationController};
+use mrts_arch::{Cycles, FabricKind, LoadedId, ReconfigurationController};
 use mrts_ise::ise::IseStage;
 use mrts_ise::{Ise, TriggerInstruction, UnitId};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Expected behaviour of one availability stage of a candidate ISE.
@@ -84,52 +85,109 @@ impl fmt::Display for ProfitBreakdown {
     }
 }
 
-/// Evaluates the expected profit of selecting `ise` at time `now` under the
-/// forecast `trigger`.
+/// Per-round snapshot of the shadow controller's port state, from which
+/// every candidate's unit-ready times follow analytically.
 ///
-/// `resident` tells which units are already usable (loaded by earlier
-/// selections or by other ISEs sharing data paths — their savings are
-/// available immediately and for free). `controller` supplies completion
-/// predictions for units still streaming and for the new loads this ISE
-/// would enqueue.
-#[must_use]
-pub fn expected_profit(
-    ise: &Ise,
-    trigger: &TriggerInstruction,
+/// A batch of back-to-back loads issued at `now` on one port completes at
+/// `max(now, port_busy_until) + Σ durations` — the chaining
+/// [`ReconfigurationController::predict`] models by cloning the whole
+/// controller per evaluation. Capturing the two port bases and the ready
+/// times of already-streaming units **once per selection round** makes each
+/// candidate evaluation a pure array walk: no clone, no queue scan, no
+/// allocation. The memo is only valid while the shadow schedule is
+/// unchanged; the greedy loop recaptures it after every commit (see
+/// `ProfitFn::invalidate`).
+#[derive(Debug, Clone)]
+pub struct ProfitMemo {
+    /// When the evaluation happens (all `ready_rel` are relative to this).
     now: Cycles,
-    controller: &ReconfigurationController,
-    resident: &dyn Fn(UnitId) -> bool,
-) -> ProfitBreakdown {
-    // 1. Per-stage availability, relative to `now`.
-    let mut new_loads: Vec<LoadRequest> = Vec::new();
-    let mut pending_new: Vec<usize> = Vec::new(); // stage index per new load
-    let mut ready_rel: Vec<Cycles> = Vec::with_capacity(ise.stage_count());
-    for (si, stage) in ise.stages().iter().enumerate() {
-        if resident(stage.unit) {
-            ready_rel.push(Cycles::ZERO);
-        } else if let Some(t) = controller.pending_ready_time(stage.unit.as_loaded_id()) {
-            ready_rel.push(t - now);
-        } else {
-            // Placeholder; filled from the prediction below.
-            ready_rel.push(Cycles::MAX);
-            pending_new.push(si);
-            new_loads.push(LoadRequest {
-                id: stage.unit.as_loaded_id(),
-                fabric: stage.fabric,
-                duration: stage.load_duration,
-            });
+    /// `max(now, busy_until)` of the FG configuration port.
+    fg_base: Cycles,
+    /// `max(now, busy_until)` of the CG context port.
+    cg_base: Cycles,
+    /// Ready times of queued/streaming transfers, first occurrence wins
+    /// (FG port scanned before CG, matching
+    /// [`ReconfigurationController::pending_ready_time`]).
+    pending: HashMap<LoadedId, Cycles>,
+}
+
+impl ProfitMemo {
+    /// Captures the port state of `controller` as seen at `now`.
+    #[must_use]
+    pub fn capture(controller: &ReconfigurationController, now: Cycles) -> Self {
+        let mut pending = HashMap::new();
+        for t in controller.inflight_tickets() {
+            pending.entry(t.id).or_insert(t.ready_at);
+        }
+        ProfitMemo {
+            now,
+            fg_base: now.max(controller.port_free_at(FabricKind::FineGrained)),
+            cg_base: now.max(controller.port_free_at(FabricKind::CoarseGrained)),
+            pending,
         }
     }
-    let tickets = controller.predict(now, &new_loads);
-    for (slot, ticket) in pending_new.into_iter().zip(tickets) {
-        ready_rel[slot] = ticket.ready_at - now;
-    }
 
-    // 2. Availability order: earliest-ready first (stable on stage order).
-    let mut order: Vec<usize> = (0..ise.stage_count()).collect();
+    /// Fills `ready_rel[i]` — when stage `i`'s unit becomes usable,
+    /// relative to `now` — exactly as a fresh
+    /// [`ReconfigurationController::predict`] batch would.
+    fn fill_ready_rel(
+        &self,
+        ise: &Ise,
+        resident: &dyn Fn(UnitId) -> bool,
+        ready_rel: &mut Vec<Cycles>,
+    ) {
+        ready_rel.clear();
+        let mut fg_acc = Cycles::ZERO;
+        let mut cg_acc = Cycles::ZERO;
+        for stage in ise.stages() {
+            if resident(stage.unit) {
+                ready_rel.push(Cycles::ZERO);
+            } else if let Some(&t) = self.pending.get(&stage.unit.as_loaded_id()) {
+                ready_rel.push(t - self.now);
+            } else {
+                let (base, acc) = match stage.fabric {
+                    FabricKind::FineGrained => (self.fg_base, &mut fg_acc),
+                    FabricKind::CoarseGrained => (self.cg_base, &mut cg_acc),
+                };
+                *acc += stage.load_duration;
+                ready_rel.push(base + *acc - self.now);
+            }
+        }
+    }
+}
+
+/// Reusable buffers for [`expected_profit_value`] — the allocation hygiene
+/// of the selector hot loop. One instance serves any number of evaluations.
+#[derive(Debug, Default)]
+pub struct ProfitScratch {
+    ready_rel: Vec<Cycles>,
+    order: Vec<usize>,
+}
+
+/// The Eq. 2/3/4 stage walk shared by the breakdown and hot paths. Both
+/// perform the identical floating-point operation sequence, so the profits
+/// they produce are bit-identical.
+struct WalkResult {
+    risc_executions: f64,
+    full_executions: f64,
+    full_latency: Cycles,
+    reconfig_latency: Cycles,
+    profit: f64,
+}
+
+fn walk_stages(
+    ise: &Ise,
+    trigger: &TriggerInstruction,
+    ready_rel: &[Cycles],
+    order: &mut Vec<usize>,
+    mut stages_out: Option<&mut Vec<StageProfit>>,
+) -> WalkResult {
+    // Availability order: earliest-ready first (stable on stage order).
+    order.clear();
+    order.extend(0..ise.stage_count());
     order.sort_by_key(|&i| (ready_rel[i], i));
 
-    // 3. Walk the stages computing Eq. 3 / Eq. 2.
+    // Walk the stages computing Eq. 3 / Eq. 2.
     let e = trigger.expected_executions as f64;
     let tf = trigger.time_to_first;
     let tb = trigger.time_between.get() as f64;
@@ -147,7 +205,7 @@ pub fn expected_profit(
     used += risc_executions;
 
     let stages: &[IseStage] = ise.stages();
-    let mut breakdown_stages = Vec::with_capacity(order.len());
+    let mut profit_acc = 0.0f64;
     let mut cumulative_saving = Cycles::ZERO;
     for (pos, &si) in order.iter().enumerate() {
         cumulative_saving += stages[si].saving_per_exec;
@@ -168,32 +226,36 @@ pub fn expected_profit(
         let executions = executions.min((e - used).max(0.0));
         used += executions;
         let improvement = executions * (risc - latency).get() as f64;
-        breakdown_stages.push(StageProfit {
-            unit: stages[si].unit,
-            ready_rel: rec_i,
-            latency,
-            executions,
-            improvement,
-        });
+        profit_acc += improvement;
+        if let Some(out) = stages_out.as_deref_mut() {
+            out.push(StageProfit {
+                unit: stages[si].unit,
+                ready_rel: rec_i,
+                latency,
+                executions,
+                improvement,
+            });
+        }
     }
 
     // Eq. 4: the fully configured ISE takes the remaining executions.
     let full_latency = ise.full_latency();
     let full_executions = (e - used).max(0.0);
     let full_improvement = full_executions * (risc - full_latency).get() as f64;
-    let profit = breakdown_stages.iter().map(|s| s.improvement).sum::<f64>() + full_improvement;
+    let profit = profit_acc + full_improvement;
     let reconfig_latency = order.last().map_or(Cycles::ZERO, |&i| ready_rel[i]);
 
     // The final availability stage *is* the fully configured ISE; record
     // its executions there for reporting.
-    if let Some(last) = breakdown_stages.last_mut() {
-        last.executions = full_executions;
-        last.improvement = full_improvement;
+    if let Some(out) = stages_out {
+        if let Some(last) = out.last_mut() {
+            last.executions = full_executions;
+            last.improvement = full_improvement;
+        }
     }
 
-    ProfitBreakdown {
+    WalkResult {
         risc_executions,
-        stages: breakdown_stages,
         full_executions,
         full_latency,
         reconfig_latency,
@@ -201,10 +263,129 @@ pub fn expected_profit(
     }
 }
 
+/// Evaluates the expected profit of selecting `ise` at time `now` under the
+/// forecast `trigger`.
+///
+/// `resident` tells which units are already usable (loaded by earlier
+/// selections or by other ISEs sharing data paths — their savings are
+/// available immediately and for free). `controller` supplies completion
+/// predictions for units still streaming and for the new loads this ISE
+/// would enqueue.
+#[must_use]
+pub fn expected_profit(
+    ise: &Ise,
+    trigger: &TriggerInstruction,
+    now: Cycles,
+    controller: &ReconfigurationController,
+    resident: &dyn Fn(UnitId) -> bool,
+) -> ProfitBreakdown {
+    let memo = ProfitMemo::capture(controller, now);
+    let mut scratch = ProfitScratch::default();
+    memo.fill_ready_rel(ise, resident, &mut scratch.ready_rel);
+    let mut breakdown_stages = Vec::with_capacity(ise.stage_count());
+    let w = walk_stages(
+        ise,
+        trigger,
+        &scratch.ready_rel,
+        &mut scratch.order,
+        Some(&mut breakdown_stages),
+    );
+    ProfitBreakdown {
+        risc_executions: w.risc_executions,
+        stages: breakdown_stages,
+        full_executions: w.full_executions,
+        full_latency: w.full_latency,
+        reconfig_latency: w.reconfig_latency,
+        profit: w.profit,
+    }
+}
+
+/// Allocation-free profit evaluation against a captured [`ProfitMemo`] —
+/// the selector hot path. Returns the same value (bit for bit) as
+/// [`expected_profit`]`.profit` evaluated against the controller the memo
+/// was captured from.
+#[must_use]
+pub fn expected_profit_value(
+    ise: &Ise,
+    trigger: &TriggerInstruction,
+    memo: &ProfitMemo,
+    resident: &dyn Fn(UnitId) -> bool,
+    scratch: &mut ProfitScratch,
+) -> f64 {
+    memo.fill_ready_rel(ise, resident, &mut scratch.ready_rel);
+    walk_stages(ise, trigger, &scratch.ready_rel, &mut scratch.order, None).profit
+}
+
+/// The memoizing [`crate::selector::ProfitFn`] evaluator of Eqs. 1–4:
+/// captures the shadow port schedule once per selection round and reuses
+/// scratch buffers across evaluations, so the per-candidate cost is a pure
+/// array walk with zero allocation.
+pub struct ExpectedProfitEval<'a> {
+    now: Cycles,
+    resident: &'a dyn Fn(UnitId) -> bool,
+    allow_mono: bool,
+    scratch: ProfitScratch,
+    memo: Option<ProfitMemo>,
+}
+
+impl fmt::Debug for ExpectedProfitEval<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExpectedProfitEval")
+            .field("now", &self.now)
+            .field("allow_mono", &self.allow_mono)
+            .field("memo", &self.memo)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ExpectedProfitEval<'a> {
+    /// A fresh evaluator for a selection happening at `now`.
+    #[must_use]
+    pub fn new(now: Cycles, resident: &'a dyn Fn(UnitId) -> bool) -> Self {
+        ExpectedProfitEval {
+            now,
+            resident,
+            allow_mono: true,
+            scratch: ProfitScratch::default(),
+            memo: None,
+        }
+    }
+
+    /// Whether monoCG-Extension candidates may earn profit (the ECU
+    /// ablation disables them by forcing their profit to zero).
+    #[must_use]
+    pub fn with_mono(mut self, allow: bool) -> Self {
+        self.allow_mono = allow;
+        self
+    }
+}
+
+impl crate::selector::ProfitFn for ExpectedProfitEval<'_> {
+    fn eval(
+        &mut self,
+        ise: &Ise,
+        trigger: &TriggerInstruction,
+        shadow: &ReconfigurationController,
+    ) -> f64 {
+        if !self.allow_mono && ise.is_mono_extension() {
+            return 0.0; // ablation: monoCG disabled entirely
+        }
+        if self.memo.is_none() {
+            self.memo = Some(ProfitMemo::capture(shadow, self.now));
+        }
+        let memo = self.memo.as_ref().expect("memo just captured");
+        expected_profit_value(ise, trigger, memo, self.resident, &mut self.scratch)
+    }
+
+    fn invalidate(&mut self) {
+        self.memo = None;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrts_arch::{FabricKind, ReconfigurationController};
+    use mrts_arch::{FabricKind, LoadRequest, ReconfigurationController};
     use mrts_ise::ise::IseStage;
     use mrts_ise::{IseId, KernelId, TriggerInstruction};
     use proptest::prelude::*;

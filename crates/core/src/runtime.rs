@@ -233,14 +233,10 @@ impl RuntimePolicy for Mrts {
         let now = ctx.now;
         let resident = move |u: UnitId| machine.is_resident(u.as_loaded_id(), now);
         let use_mono = self.config.ecu.use_mono_cg;
-        let profit = |ise: &mrts_ise::Ise,
-                      trigger: &mrts_ise::TriggerInstruction,
-                      shadow: &mrts_arch::ReconfigurationController| {
-            if ise.is_mono_extension() && !use_mono {
-                return 0.0; // ablation: monoCG disabled entirely
-            }
-            crate::profit::expected_profit(ise, trigger, now, shadow, &resident).profit
-        };
+        // The memoizing evaluator captures the shadow port schedule once per
+        // selection round and reuses its scratch buffers across candidates
+        // (identical profits to `expected_profit`, bit for bit).
+        let mut profit = crate::profit::ExpectedProfitEval::new(now, &resident).with_mono(use_mono);
         let selection = crate::selector::select_ises_with(
             ctx.catalog,
             &forecast,
@@ -249,7 +245,7 @@ impl RuntimePolicy for Mrts {
             ctx.machine.controller(),
             ctx.now,
             &self.config.selector,
-            &profit,
+            &mut profit,
         );
 
         // 4. Pre-load monoCG-Extensions with the leftover CG budget (the
