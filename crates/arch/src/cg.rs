@@ -398,6 +398,53 @@ impl CgFabric {
         self.edpes.iter().any(|e| e.resident(now) == Some(id))
     }
 
+    /// Number of **working** (non-failed) context slots.
+    #[must_use]
+    pub fn working_count(&self) -> u16 {
+        self.edpes.iter().filter(|e| !e.is_failed()).count() as u16
+    }
+
+    /// Sets the number of working (non-failed) **context slots** to
+    /// `target_slots` — the fabric arbiter's lever for moving CG capacity
+    /// between tenant partitions. `params` supplies the context capacity for
+    /// freshly grown slots.
+    ///
+    /// Growing appends fresh empty slots with ids past the highest id
+    /// currently present. Shrinking removes empty slots first (highest id
+    /// first) and only then evicts occupied ones (highest id first).
+    /// Permanently failed slots are **never** removed: hardware damage stays
+    /// pinned to the partition that suffered it. The physical EDPE count is
+    /// recomputed as `ceil(target_slots / contexts_per_edpe)`.
+    ///
+    /// Returns the ids of the artefacts evicted by the shrink, ascending.
+    pub fn resize_slots(&mut self, target_slots: u16, params: &ArchParams) -> Vec<LoadedId> {
+        let mut evicted = Vec::new();
+        let mut next_id = self.edpes.iter().map(|e| e.id.0 + 1).max().unwrap_or(0);
+        while self.working_count() < target_slots {
+            self.edpes.push(CgEdpe::new(EdpeId(next_id), params));
+            next_id += 1;
+        }
+        while self.working_count() > target_slots {
+            let victim = self
+                .edpes
+                .iter()
+                .rposition(CgEdpe::is_empty)
+                .or_else(|| self.edpes.iter().rposition(|e| !e.is_failed()))
+                .expect("working_count > target >= 0 implies a non-failed slot");
+            let e = self.edpes.remove(victim);
+            if let EdpeState::Loaded { id }
+            | EdpeState::Loading { id, .. }
+            | EdpeState::MonoCg { id } = e.state
+            {
+                evicted.push(id);
+            }
+        }
+        let contexts = self.contexts_per_edpe.max(1);
+        self.edpe_count = target_slots.div_ceil(contexts);
+        evicted.sort_unstable();
+        evicted
+    }
+
     /// Whether any monoCG-Extension is currently installed.
     #[must_use]
     pub fn mono_cg_ids(&self) -> Vec<LoadedId> {
@@ -507,5 +554,43 @@ mod tests {
         cg.begin_load(1, Cycles::ZERO).unwrap();
         assert!(cg.begin_load(2, Cycles::ZERO).is_none());
         assert!(cg.install_mono_cg(3).is_none());
+    }
+
+    #[test]
+    fn resize_slots_grow_and_shrink() {
+        let mut cg = fabric(2);
+        assert!(cg.resize_slots(4, &ArchParams::default()).is_empty());
+        assert_eq!(cg.working_count(), 4);
+        assert_eq!(cg.free_count(), 4);
+        cg.begin_load(5, Cycles::ZERO).unwrap();
+        cg.install_mono_cg(6).unwrap();
+        // Shrink to 1: two empties go first, then the monoCG in the
+        // higher-id slot is evicted.
+        assert_eq!(cg.resize_slots(1, &ArchParams::default()), vec![6]);
+        assert_eq!(cg.working_count(), 1);
+        assert!(cg.is_resident(5, Cycles::new(1)));
+    }
+
+    #[test]
+    fn resize_slots_recomputes_edpe_count() {
+        let params = ArchParams::default(); // 3 contexts per EDPE
+        let mut cg = CgFabric::new(2, &params);
+        cg.resize_slots(4, &params);
+        assert_eq!(cg.working_count(), 4);
+        assert_eq!(cg.edpe_count(), 2); // ceil(4 / 3)
+        cg.resize_slots(3, &params);
+        assert_eq!(cg.edpe_count(), 1);
+    }
+
+    #[test]
+    fn resize_slots_pins_failed_slots() {
+        let mut cg = fabric(3);
+        cg.fail_one_empty().unwrap();
+        assert!(cg.resize_slots(1, &ArchParams::default()).is_empty());
+        assert_eq!(cg.working_count(), 1);
+        assert_eq!(cg.failed_count(), 1);
+        cg.resize_slots(3, &ArchParams::default());
+        assert_eq!(cg.working_count(), 3);
+        assert_eq!(cg.failed_count(), 1);
     }
 }

@@ -246,6 +246,48 @@ impl FgFabric {
     pub fn reconfig_time(params: &ArchParams, bitstream_bytes: u64) -> Cycles {
         params.fg_reconfig_time(bitstream_bytes)
     }
+
+    /// Number of **working** (non-failed) containers.
+    #[must_use]
+    pub fn working_count(&self) -> u16 {
+        self.prcs.iter().filter(|p| !p.is_failed()).count() as u16
+    }
+
+    /// Sets the number of working (non-failed) containers to `target` — the
+    /// fabric arbiter's lever for moving PRCs between tenant partitions.
+    ///
+    /// Growing appends fresh empty containers with ids past the highest id
+    /// currently present. Shrinking removes empty containers first
+    /// (highest id first) and only then evicts occupied ones (highest id
+    /// first). Permanently failed containers are **never** removed: hardware
+    /// damage stays pinned to the partition that suffered it.
+    ///
+    /// Returns the ids of the data paths evicted by the shrink, ascending.
+    pub fn resize(&mut self, target: u16) -> Vec<LoadedId> {
+        let mut evicted = Vec::new();
+        // Grow: fresh ids continue past the highest id currently present so
+        // they never collide with a live container.
+        let mut next_id = self.prcs.iter().map(|p| p.id.0 + 1).max().unwrap_or(0);
+        while self.working_count() < target {
+            self.prcs.push(Prc::new(PrcId(next_id)));
+            next_id += 1;
+        }
+        // Shrink: empties first, then occupied, highest index first.
+        while self.working_count() > target {
+            let victim = self
+                .prcs
+                .iter()
+                .rposition(Prc::is_empty)
+                .or_else(|| self.prcs.iter().rposition(|p| !p.is_failed()))
+                .expect("working_count > target >= 0 implies a non-failed PRC");
+            let p = self.prcs.remove(victim);
+            if let PrcState::Loaded { id } | PrcState::Loading { id, .. } = p.state {
+                evicted.push(id);
+            }
+        }
+        evicted.sort_unstable();
+        evicted
+    }
 }
 
 #[cfg(test)]
@@ -323,5 +365,59 @@ mod tests {
         let fg = FgFabric::new(0);
         assert!(fg.is_empty());
         assert_eq!(fg.free_count(), 0);
+    }
+
+    #[test]
+    fn resize_grow_appends_fresh_empty_containers() {
+        let mut fg = FgFabric::new(2);
+        assert!(fg.resize(4).is_empty());
+        assert_eq!(fg.len(), 4);
+        assert_eq!(fg.free_count(), 4);
+        let ids: Vec<u16> = fg.iter().map(|p| p.id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn resize_shrink_prefers_empty_then_evicts() {
+        let mut fg = FgFabric::new(4);
+        fg.begin_load(10, Cycles::ZERO).unwrap();
+        fg.begin_load(20, Cycles::ZERO).unwrap();
+        // 2 occupied + 2 empty; shrinking to 3 removes one empty container.
+        assert!(fg.resize(3).is_empty());
+        assert_eq!(fg.working_count(), 3);
+        assert_eq!(fg.free_count(), 1);
+        // Shrinking to 1 removes the last empty and evicts the data path in
+        // the highest-id occupied container.
+        assert_eq!(fg.resize(1), vec![20]);
+        assert_eq!(fg.working_count(), 1);
+        assert!(fg.is_resident(10, Cycles::new(1)));
+    }
+
+    #[test]
+    fn resize_never_removes_failed_containers() {
+        let mut fg = FgFabric::new(3);
+        fg.fail_one_empty().unwrap();
+        assert!(fg.resize(1).is_empty());
+        // One working + the pinned failed container.
+        assert_eq!(fg.working_count(), 1);
+        assert_eq!(fg.failed_count(), 1);
+        assert_eq!(fg.len(), 2);
+        // Growing back adds fresh containers; damage persists.
+        fg.resize(3);
+        assert_eq!(fg.working_count(), 3);
+        assert_eq!(fg.failed_count(), 1);
+    }
+
+    #[test]
+    fn regrown_container_ids_never_collide_with_live_ones() {
+        let mut fg = FgFabric::new(3);
+        fg.fail_one_empty().unwrap(); // PRC0 pinned
+        fg.resize(1);
+        fg.resize(3);
+        let mut ids: Vec<u16> = fg.iter().map(|p| p.id().0).collect();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate PRC id after resize: {ids:?}");
+        assert_eq!(fg.working_count(), 3);
     }
 }

@@ -60,6 +60,6 @@ pub use fault::{FaultKind, FaultModel, LoadFault};
 pub use fg::{FgFabric, LoadedId, Prc, PrcId, PrcState};
 pub use machine::Machine;
 pub use params::ArchParams;
-pub use reconfig::{FabricKind, LoadRequest, LoadTicket, ReconfigurationController};
+pub use reconfig::{FabricKind, LoadRequest, LoadTicket, ReconfigurationController, SwitchCosts};
 pub use resources::Resources;
 pub use scratchpad::Scratchpad;

@@ -355,6 +355,29 @@ impl Machine {
         self.cg.settle(now);
         self.controller.settle(now);
     }
+
+    /// Re-partitions the machine to a new capacity `target`, expressed in
+    /// **slot** units like [`Machine::capacity`] (CG context slots, PRCs).
+    /// This is the fabric arbiter's lever for moving containers between
+    /// tenant partitions at run time.
+    ///
+    /// Growing appends fresh empty containers; shrinking removes empty
+    /// containers first and evicts resident artefacts only when it must.
+    /// Permanently failed containers stay pinned to this machine (hardware
+    /// damage does not migrate between partitions), so after the call
+    /// `capacity() == target` regardless of the fault history. The physical
+    /// [`Machine::budget`] is recomputed from the new container counts.
+    ///
+    /// Call between functional blocks, on a settled machine: in-flight
+    /// transfers of evicted artefacts are *not* cancelled. Returns the
+    /// evicted artefact ids from both fabrics, ascending.
+    pub fn resize_capacity(&mut self, target: Resources) -> Vec<LoadedId> {
+        let mut evicted = self.cg.resize_slots(target.cg(), &self.params);
+        evicted.extend(self.fg.resize(target.prc()));
+        evicted.sort_unstable();
+        self.budget = Resources::new(self.cg.edpe_count(), self.fg.working_count());
+        evicted
+    }
 }
 
 #[cfg(test)]
@@ -501,6 +524,43 @@ mod tests {
         let b = armed.load_fg(Cycles::ZERO, 1, 81_100).unwrap();
         assert_eq!(a, b);
         assert_eq!(armed.fault_model().draws(), 0);
+    }
+
+    #[test]
+    fn resize_capacity_moves_containers_and_updates_budget() {
+        let mut m = machine(2, 3);
+        assert!(m.resize_capacity(Resources::new(1, 1)).is_empty());
+        assert_eq!(m.capacity(), Resources::new(1, 1));
+        assert_eq!(m.budget(), Resources::new(1, 1));
+        m.resize_capacity(Resources::new(3, 4));
+        assert_eq!(m.capacity(), Resources::new(3, 4));
+        assert_eq!(m.free_resources(), Resources::new(3, 4));
+    }
+
+    #[test]
+    fn resize_capacity_evicts_only_when_it_must() {
+        let mut m = machine(2, 2);
+        m.load_cg(Cycles::ZERO, 1, 32).unwrap();
+        m.load_fg(Cycles::ZERO, 2, 10_000).unwrap();
+        // One free slot per fabric: shrinking to (1, 1) removes the empties.
+        assert!(m.resize_capacity(Resources::new(1, 1)).is_empty());
+        // Shrinking to nothing evicts the residents.
+        assert_eq!(m.resize_capacity(Resources::NONE), vec![1, 2]);
+        assert_eq!(m.capacity(), Resources::NONE);
+    }
+
+    #[test]
+    fn resize_capacity_keeps_fault_damage_pinned() {
+        let mut m = machine(1, 2);
+        m.set_fault_model(FaultModel::with_rates(0.0, 0.0, 1.0, 3));
+        let _ = m.load_fg(Cycles::ZERO, 7, 81_100).unwrap_err();
+        m.set_fault_model(FaultModel::none());
+        assert_eq!(m.capacity(), Resources::new(1, 1));
+        // The arbiter hands this partition 2 working PRCs again: capacity
+        // reaches the target but the failed container stays on the books.
+        m.resize_capacity(Resources::new(1, 2));
+        assert_eq!(m.capacity(), Resources::new(1, 2));
+        assert_eq!(m.failed_resources(), Resources::new(0, 1));
     }
 
     #[test]

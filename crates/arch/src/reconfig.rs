@@ -66,6 +66,50 @@ pub struct LoadTicket {
     pub ready_at: Cycles,
 }
 
+/// Core-cycle costs charged when control of the core moves between tasks
+/// sharing one multi-grained machine, or when the fabric arbiter
+/// re-partitions the container sets.
+///
+/// These are *core-side* costs (pipeline drain, architectural register
+/// save/restore, arbiter bookkeeping); the fabric-side cost of a
+/// re-partition — re-streaming evicted bitstreams and context programs — is
+/// already charged faithfully through the configuration-port model above,
+/// so it is deliberately **not** duplicated here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchCosts {
+    /// Charged each time the core switches from one task to a *different*
+    /// task (never when a task's quantum is simply renewed).
+    pub context_switch: Cycles,
+    /// Charged each time the fabric arbiter changes the partition, on top
+    /// of the reconfiguration traffic the change itself causes.
+    pub repartition: Cycles,
+}
+
+impl Default for SwitchCosts {
+    /// Defaults sized against the paper's 400 MHz core: ~250 cycles
+    /// (0.625 µs) for a context switch — pipeline drain plus register-file
+    /// save/restore from the scratchpad — and ~1000 cycles for an arbiter
+    /// re-partition round (recomputing shares and reprogramming container
+    /// ownership tables).
+    fn default() -> Self {
+        SwitchCosts {
+            context_switch: Cycles::new(250),
+            repartition: Cycles::new(1_000),
+        }
+    }
+}
+
+impl SwitchCosts {
+    /// Zero-cost switching, for idealized baselines and equivalence tests.
+    #[must_use]
+    pub const fn free() -> Self {
+        SwitchCosts {
+            context_switch: Cycles::ZERO,
+            repartition: Cycles::ZERO,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct Port {
     busy_until: Cycles,

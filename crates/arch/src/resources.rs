@@ -142,6 +142,85 @@ impl Resources {
     pub const fn is_multi_grained(self) -> bool {
         self.cg > 0 && self.prc > 0
     }
+
+    /// Partitions the vector into `n` **disjoint** slices that exactly
+    /// cover it (per component: largest-remainder apportionment with equal
+    /// weights; remainders go to the lowest tenant indices). This is the
+    /// fabric arbiter's *static* partition view of the container/EDPE sets.
+    ///
+    /// ```
+    /// use mrts_arch::Resources;
+    ///
+    /// let slices = Resources::new(4, 3).split_even(3);
+    /// assert_eq!(slices, vec![
+    ///     Resources::new(2, 1),
+    ///     Resources::new(1, 1),
+    ///     Resources::new(1, 1),
+    /// ]);
+    /// assert_eq!(slices.into_iter().sum::<Resources>(), Resources::new(4, 3));
+    /// ```
+    #[must_use]
+    pub fn split_even(self, n: usize) -> Vec<Resources> {
+        self.split_weighted(&vec![1; n])
+    }
+
+    /// Partitions the vector into `weights.len()` disjoint slices
+    /// proportional to `weights`, covering it exactly (per component:
+    /// largest-remainder / Hamilton apportionment, ties broken towards the
+    /// lowest index — fully deterministic). All-zero weights fall back to
+    /// an even split, so the arbiter never divides by zero.
+    #[must_use]
+    pub fn split_weighted(self, weights: &[u64]) -> Vec<Resources> {
+        fn apportion(total: u16, weights: &[u64]) -> Vec<u16> {
+            if weights.is_empty() {
+                return Vec::new();
+            }
+            let wsum: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+            if wsum == 0 {
+                // Equal weights fallback.
+                return apportion(total, &vec![1; weights.len()]);
+            }
+            let t = u128::from(total);
+            let mut base: Vec<u16> = Vec::with_capacity(weights.len());
+            let mut rems: Vec<(u128, usize)> = Vec::with_capacity(weights.len());
+            let mut assigned: u16 = 0;
+            for (i, &w) in weights.iter().enumerate() {
+                let exact = t * u128::from(w);
+                let share = (exact / wsum) as u16;
+                base.push(share);
+                assigned += share;
+                rems.push((exact % wsum, i));
+            }
+            // Hand leftover units to the largest remainders, lowest index
+            // first on ties.
+            rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut leftover = total - assigned;
+            for &(_, i) in &rems {
+                if leftover == 0 {
+                    break;
+                }
+                base[i] += 1;
+                leftover -= 1;
+            }
+            base
+        }
+        let cg = apportion(self.cg, weights);
+        let prc = apportion(self.prc, weights);
+        cg.into_iter()
+            .zip(prc)
+            .map(|(c, p)| Resources::new(c, p))
+            .collect()
+    }
+
+    /// Component-wise minimum — clamping a selector budget to a tenant's
+    /// allotted fabric slice.
+    #[must_use]
+    pub fn min(self, rhs: Resources) -> Resources {
+        Resources {
+            cg: self.cg.min(rhs.cg),
+            prc: self.prc.min(rhs.prc),
+        }
+    }
 }
 
 impl Add for Resources {

@@ -1,0 +1,74 @@
+//! One policy factory shared by the CLI, the benches and the multi-tenant
+//! runner, so every tool accepts the same policy names and builds
+//! identically configured instances.
+
+use crate::common::ProfiledTotals;
+use crate::offline::{LooselyCoupledPolicy, OfflineOptimalPolicy};
+use crate::optimal::OnlineOptimalPolicy;
+use crate::rispp::RisppPolicy;
+use mrts_arch::Resources;
+use mrts_core::Mrts;
+use mrts_ise::IseCatalog;
+use mrts_sim::{RiscOnlyPolicy, RuntimePolicy};
+
+/// Every policy name [`make_policy`] accepts, in reporting order.
+pub const POLICY_NAMES: &[&str] = &["mrts", "risc", "rispp", "morpheus", "offline", "optimal"];
+
+/// Builds a fresh, boxed run-time policy by name.
+///
+/// `catalog`, `capacity` and `totals` parameterize the offline policies
+/// (which bind their selection at "compile time" from profiled totals);
+/// the online policies ignore them. In a multi-tenant run each tenant gets
+/// its own instance built from *its* catalogue and fabric slice.
+///
+/// # Errors
+///
+/// Returns a message listing the accepted names if `name` is unknown.
+pub fn make_policy(
+    name: &str,
+    catalog: &IseCatalog,
+    capacity: Resources,
+    totals: &ProfiledTotals,
+) -> Result<Box<dyn RuntimePolicy>, String> {
+    match name {
+        "mrts" => Ok(Box::new(Mrts::new())),
+        "risc" => Ok(Box::new(RiscOnlyPolicy::new())),
+        "rispp" => Ok(Box::new(RisppPolicy::new())),
+        "morpheus" => Ok(Box::new(LooselyCoupledPolicy::new(
+            catalog, capacity, totals,
+        ))),
+        "offline" => Ok(Box::new(OfflineOptimalPolicy::new(
+            catalog, capacity, totals,
+        ))),
+        "optimal" => Ok(Box::new(OnlineOptimalPolicy::new())),
+        other => Err(format!(
+            "unknown policy '{other}' ({})",
+            POLICY_NAMES.join("|")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrts_arch::ArchParams;
+    use mrts_workload::synthetic::{synthetic_trace, Pattern, ToyApp};
+    use mrts_workload::WorkloadModel;
+
+    #[test]
+    fn factory_builds_every_listed_policy() {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(100)], 2);
+        let totals = ProfiledTotals::from_trace(&trace);
+        let capacity = Resources::new(2, 2);
+        for name in POLICY_NAMES {
+            let p = make_policy(name, &catalog, capacity, &totals);
+            assert!(p.is_ok(), "policy '{name}' failed to build");
+        }
+        assert!(make_policy("bogus", &catalog, capacity, &totals).is_err());
+    }
+}

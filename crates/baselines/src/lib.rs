@@ -29,11 +29,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod common;
+pub mod factory;
 pub mod offline;
 pub mod optimal;
 pub mod rispp;
 
 pub use common::ProfiledTotals;
+pub use factory::{make_policy, POLICY_NAMES};
 pub use offline::{LooselyCoupledPolicy, OfflineOptimalPolicy};
 pub use optimal::{dp_optimal_selection, exhaustive_optimal_profit, OnlineOptimalPolicy};
 pub use rispp::RisppPolicy;

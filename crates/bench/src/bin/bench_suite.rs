@@ -27,7 +27,10 @@ use mrts_bench::{fig8_combos, par, print_header, Testbed, DEFAULT_SEED};
 use mrts_core::selector::{select_ises, SelectorConfig};
 use mrts_core::Mrts;
 use mrts_ise::{BlockId, IseCatalog, TriggerBlock, TriggerInstruction, UnitId};
+use mrts_multitask::{run_multitask, MultitaskConfig, TenantSpec};
+use mrts_workload::apps::{CipherApp, FftApp};
 use mrts_workload::h264::h264_application;
+use mrts_workload::{TraceBuilder, VideoModel, WorkloadModel};
 
 /// One measurement row of `BENCH_perf.json`.
 struct Entry {
@@ -225,6 +228,70 @@ fn main() {
         name: "simulator_throughput",
         value: blocks_per_s,
         unit: "blocks/s",
+        threads: 1,
+    });
+
+    // --- 4. Multi-tenant scheduler step cost ----------------------------
+    // One "step" of the multi-tenant runner = one scheduler dispatch + one
+    // non-preemptible block simulated on the picked tenant's machine. A
+    // 2-tenant FFT/cipher mix keeps this measurement light while still
+    // exercising the arbiter, the WFQ scheduler and two live mRTS
+    // instances. The makespan is deterministic and acts as the
+    // machine-independent tripwire next to the wall-clock entry.
+    let mt_apps: Vec<(String, IseCatalog, mrts_workload::Trace)> = [
+        Box::new(FftApp::new()) as Box<dyn WorkloadModel>,
+        Box::new(CipherApp::new()),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, m)| {
+        let catalog = m
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .expect("kernels are mappable");
+        let trace = TraceBuilder::new(m.as_ref())
+            .video(VideoModel::paper_default(DEFAULT_SEED + i as u64))
+            .build();
+        (m.application().name().to_owned(), catalog, trace)
+    })
+    .collect();
+    let mt_specs: Vec<TenantSpec<'_>> = mt_apps
+        .iter()
+        .map(|(n, c, t)| TenantSpec::new(n.clone(), c, t))
+        .collect();
+    let mt_cfg = MultitaskConfig::default();
+    let mt_blocks: usize = mt_apps.iter().map(|(_, _, t)| t.len()).sum();
+    let mt_reps = if quick { 1 } else { 5 };
+    let mt_start = Instant::now();
+    let mut mt_makespan = Cycles::ZERO;
+    for _ in 0..mt_reps {
+        let stats = run_multitask(
+            ArchParams::default(),
+            Resources::new(2, 2),
+            &mt_specs,
+            &mt_cfg,
+        )
+        .expect("multitask run succeeds");
+        mt_makespan = stats.makespan;
+    }
+    let mt_per_run = mt_start.elapsed().as_secs_f64() / mt_reps as f64;
+    let mt_step_us = mt_per_run * 1e6 / mt_blocks as f64;
+    println!(
+        "multitask: 2 tenants, {mt_blocks} scheduler steps in {:.1} ms per run \
+         -> {mt_step_us:>7.2} us/step (makespan {:.3} Mcycles)",
+        mt_per_run * 1e3,
+        mt_makespan.as_mcycles()
+    );
+    entries.push(Entry {
+        name: "multitask_step_us",
+        value: mt_step_us,
+        unit: "us",
+        threads: 1,
+    });
+    entries.push(Entry {
+        name: "multitask_makespan_mcycles",
+        value: mt_makespan.as_mcycles(),
+        unit: "Mcycles",
         threads: 1,
     });
 

@@ -12,6 +12,7 @@
 //! | `overhead_mrts` | Section 5.4 — selection cost and overhead fraction |
 //! | `ablation_design_choices` | extra — monoCG / MPU / copies ablations |
 //! | `fault_sweep` | extra — speedup retention under injected hardware faults |
+//! | `fig_multitask` | extra — multi-tenant sharing: aggregate speedup + fairness vs tenant count |
 //! | `bench_suite` | extra — perf-regression tracking (`BENCH_perf.json`) |
 //!
 //! This library holds the pieces the binaries share: the fabric-combination

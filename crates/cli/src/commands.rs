@@ -2,11 +2,9 @@
 
 use crate::args::Args;
 use mrts_arch::{ArchParams, Cycles, FabricKind, FaultModel, Machine, Resources};
-use mrts_baselines::{
-    LooselyCoupledPolicy, OfflineOptimalPolicy, OnlineOptimalPolicy, ProfiledTotals, RisppPolicy,
-};
-use mrts_core::Mrts;
+use mrts_baselines::{make_policy, ProfiledTotals};
 use mrts_ise::{Ise, IseCatalog};
+use mrts_multitask::{run_multitask, ArbiterPolicy, MultitaskConfig, SchedulerKind, TenantSpec};
 use mrts_sim::{ExecClass, RiscOnlyPolicy, RunStats, RuntimePolicy, Simulator};
 use mrts_workload::apps::{CipherApp, FftApp};
 use mrts_workload::h264::H264Encoder;
@@ -44,21 +42,7 @@ fn policy(
     capacity: Resources,
     totals: &ProfiledTotals,
 ) -> Result<Box<dyn RuntimePolicy>, String> {
-    match name {
-        "mrts" => Ok(Box::new(Mrts::new())),
-        "risc" => Ok(Box::new(RiscOnlyPolicy::new())),
-        "rispp" => Ok(Box::new(RisppPolicy::new())),
-        "morpheus" => Ok(Box::new(LooselyCoupledPolicy::new(
-            catalog, capacity, totals,
-        ))),
-        "offline" => Ok(Box::new(OfflineOptimalPolicy::new(
-            catalog, capacity, totals,
-        ))),
-        "optimal" => Ok(Box::new(OnlineOptimalPolicy::new())),
-        other => Err(format!(
-            "unknown policy '{other}' (mrts|risc|rispp|morpheus|offline|optimal)"
-        )),
-    }
+    make_policy(name, catalog, capacity, totals)
 }
 
 /// `mrts-cli catalog` — inspect the compile-time ISE catalogue.
@@ -235,6 +219,91 @@ pub fn sweep(args: &Args) -> CliResult {
             }
         }
     }
+    Ok(())
+}
+
+/// `mrts-cli multitask` — several applications time-sharing one machine.
+pub fn multitask(args: &Args) -> CliResult {
+    args.expect_only(&[
+        "apps",
+        "weights",
+        "seed",
+        "cg",
+        "prc",
+        "policy",
+        "arbiter",
+        "sched",
+        "fault-rate",
+        "fault-seed",
+    ])?;
+    let names: Vec<&str> = args.get_or("apps", "h264,fft").split(',').collect();
+    let weights: Vec<u64> = match args.get("weights") {
+        None => vec![1; names.len()],
+        Some(w) => w
+            .split(',')
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| format!("--weights: cannot parse '{t}'"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if weights.len() != names.len() {
+        return Err(format!(
+            "--weights lists {} values for {} apps",
+            weights.len(),
+            names.len()
+        )
+        .into());
+    }
+    let seed: u64 = args.get_num("seed", 1)?;
+    let fault_rate: f64 = args.get_num("fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate {fault_rate} must be within [0, 1]").into());
+    }
+    let fault_seed: u64 = args.get_num("fault-seed", 1)?;
+
+    // Tenant workloads are built first so the specs can borrow them.
+    let mut built: Vec<(String, IseCatalog, Trace)> = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let app = model(name)?;
+        let catalog = app
+            .application()
+            .build_catalog(ArchParams::default(), None)?;
+        let trace = TraceBuilder::new(app.as_ref())
+            .video(VideoModel::paper_default(seed.wrapping_add(i as u64)))
+            .build();
+        built.push((app.application().name().to_owned(), catalog, trace));
+    }
+    let specs: Vec<TenantSpec<'_>> = built
+        .iter()
+        .zip(&weights)
+        .enumerate()
+        .map(|(i, ((name, catalog, trace), &w))| {
+            let mut spec = TenantSpec::new(name.clone(), catalog, trace).with_weight(w);
+            if fault_rate > 0.0 {
+                spec = spec.with_fault_model(FaultModel::new(
+                    fault_rate,
+                    fault_seed.wrapping_add(i as u64),
+                ));
+            }
+            spec
+        })
+        .collect();
+
+    let cfg = MultitaskConfig {
+        policy: args.get_or("policy", "mrts").to_owned(),
+        arbiter: args.get_or("arbiter", "dynamic").parse::<ArbiterPolicy>()?,
+        scheduler: args.get_or("sched", "wfq").parse::<SchedulerKind>()?,
+        ..MultitaskConfig::default()
+    };
+    let budget = Resources::new(args.get_num("cg", 2)?, args.get_num("prc", 2)?);
+    let stats = run_multitask(ArchParams::default(), budget, &specs, &cfg)?;
+    print!("{stats}");
+    println!(
+        "aggregate speedup {:.3}x vs back-to-back RISC, throughput {:.1} execs/Mcycle",
+        stats.aggregate_speedup(),
+        stats.throughput()
+    );
     Ok(())
 }
 

@@ -5,6 +5,8 @@
 //! mrts-cli simulate [--app ..] [--cg N] [--prc N] [--policy ..] [--seed N]
 //!                   [--fault-rate P] [--fault-seed N]
 //! mrts-cli sweep    [--app ..] [--policy ..] [--seed N] [--format table|csv]
+//! mrts-cli multitask [--apps a,b,..] [--weights w,w,..] [--cg N] [--prc N]
+//!                   [--policy ..] [--arbiter ..] [--sched ..]
 //! mrts-cli trace    [--app ..] [--seed N] [--out FILE]
 //! mrts-cli pif      [--app ..] [--kernel NAME] [--max-exec N]
 //! ```
@@ -25,6 +27,7 @@ COMMANDS:
     catalog    inspect the compile-time ISE catalogue of an application
     simulate   run one application trace on one machine under one policy
     sweep      run a policy over the Fig. 8 fabric grid (vs RISC-mode)
+    multitask  time-share one machine between several applications
     trace      generate a workload trace and write it as JSON
     pif        print the Eq. 1 performance-improvement table for a kernel
     help       show this message
@@ -36,14 +39,21 @@ COMMON FLAGS:
     --prc      PRCs (default 2)
     --policy   mrts (default) | risc | rispp | morpheus | offline | optimal
 
-SIMULATE-ONLY FLAGS:
+SIMULATE/MULTITASK-ONLY FLAGS:
     --fault-rate  per-load/per-execution fault probability (default 0.0)
     --fault-seed  fault-injection seed (default 1)
+
+MULTITASK-ONLY FLAGS:
+    --apps     comma-separated tenant list (default h264,fft)
+    --weights  comma-separated scheduling weights (default all 1)
+    --arbiter  dynamic (default) | static | prop   fabric partitioning
+    --sched    wfq (default) | rr | prio           core time-sharing
 
 EXAMPLES:
     mrts-cli simulate --app h264 --cg 2 --prc 2 --policy mrts
     mrts-cli simulate --app h264 --policy mrts --fault-rate 0.001 --fault-seed 7
     mrts-cli sweep --policy mrts --format csv > sweep.csv
+    mrts-cli multitask --apps h264,fft,cipher --weights 2,1,1 --sched wfq
     mrts-cli pif --kernel deblock --max-exec 10000
 ";
 
@@ -59,6 +69,7 @@ fn main() -> ExitCode {
         Some("catalog") => commands::catalog(&args),
         Some("simulate") => commands::simulate(&args),
         Some("sweep") => commands::sweep(&args),
+        Some("multitask") => commands::multitask(&args),
         Some("trace") => commands::trace(&args),
         Some("pif") => commands::pif(&args),
         Some("help") | None => {

@@ -1,0 +1,239 @@
+//! The fabric arbiter: space-partitioning of one multi-grained fabric
+//! among tenants.
+//!
+//! The fabric is partitioned in *slot* units — CG context slots and PRCs,
+//! the same denomination as [`Machine::capacity`](mrts_arch::Machine) —
+//! because slots are the currency of the paper's selection problem: the
+//! per-tenant run-time systems plan against their slice exactly as a
+//! single-tenant mRTS plans against a whole (smaller) machine.
+//!
+//! Three disciplines are provided:
+//!
+//! * [`ArbiterPolicy::Static`] — an even split, fixed for the whole run.
+//!   Freed resources of finished tenants idle. This is the baseline the
+//!   dynamic arbiter must beat.
+//! * [`ArbiterPolicy::Proportional`] — a weighted split (largest-remainder
+//!   apportionment over the tenant weights), also fixed.
+//! * [`ArbiterPolicy::Dynamic`] — starts from the even split and, whenever
+//!   a tenant finishes, redistributes its freed slice to the still-active
+//!   tenants in proportion to their *remaining RISC demand*. Grants only
+//!   ever grow, so at every instant each tenant owns at least its static
+//!   share — the dynamic arbiter can never lose to the static one — and
+//!   with a single tenant the two are identical.
+
+use mrts_arch::Resources;
+use std::fmt;
+use std::str::FromStr;
+
+/// The partitioning discipline of a [`FabricArbiter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArbiterPolicy {
+    /// Even split, fixed for the whole run.
+    Static,
+    /// Weighted split, fixed for the whole run.
+    Proportional,
+    /// Even split that redistributes freed slices by remaining demand.
+    #[default]
+    Dynamic,
+}
+
+impl ArbiterPolicy {
+    /// Short label used in policy strings (`static`, `prop`, `dynamic`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ArbiterPolicy::Static => "static",
+            ArbiterPolicy::Proportional => "prop",
+            ArbiterPolicy::Dynamic => "dynamic",
+        }
+    }
+}
+
+impl FromStr for ArbiterPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "static" => Ok(ArbiterPolicy::Static),
+            "prop" => Ok(ArbiterPolicy::Proportional),
+            "dynamic" => Ok(ArbiterPolicy::Dynamic),
+            other => Err(format!("unknown arbiter '{other}' (static|prop|dynamic)")),
+        }
+    }
+}
+
+impl fmt::Display for ArbiterPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Owns the partition: one resource grant per tenant, summing exactly to
+/// the fabric pool handed to [`FabricArbiter::new`] (largest-remainder
+/// apportionment loses nothing). Grants are *quantities*; the per-tenant
+/// machines realise them as disjoint container sets because each tenant's
+/// [`Machine`](mrts_arch::Machine) is resized to its grant.
+#[derive(Debug, Clone)]
+pub struct FabricArbiter {
+    policy: ArbiterPolicy,
+    pool: Resources,
+    slices: Vec<Resources>,
+}
+
+impl FabricArbiter {
+    /// Partitions `pool` among `weights.len()` tenants.
+    #[must_use]
+    pub fn new(policy: ArbiterPolicy, pool: Resources, weights: &[u64]) -> Self {
+        let slices = match policy {
+            ArbiterPolicy::Static | ArbiterPolicy::Dynamic => pool.split_even(weights.len()),
+            ArbiterPolicy::Proportional => pool.split_weighted(weights),
+        };
+        FabricArbiter {
+            policy,
+            pool,
+            slices,
+        }
+    }
+
+    /// The discipline in force.
+    #[must_use]
+    pub fn policy(&self) -> ArbiterPolicy {
+        self.policy
+    }
+
+    /// The total pool being partitioned.
+    #[must_use]
+    pub fn pool(&self) -> Resources {
+        self.pool
+    }
+
+    /// The current grant of tenant `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a tenant index.
+    #[must_use]
+    pub fn grant(&self, i: usize) -> Resources {
+        self.slices[i]
+    }
+
+    /// All current grants, in tenant order.
+    #[must_use]
+    pub fn slices(&self) -> &[Resources] {
+        &self.slices
+    }
+
+    /// Reports that tenant `finished` has completed its trace. `keep` is
+    /// the part of its grant that cannot move (its permanently failed
+    /// containers — hardware damage stays where it happened); the rest is
+    /// freed. `demands` lists the still-active tenants as
+    /// `(tenant index, remaining RISC demand)` pairs.
+    ///
+    /// Under [`ArbiterPolicy::Dynamic`] the freed slice is redistributed
+    /// to the active tenants by largest-remainder apportionment over their
+    /// demands; grants only grow. Returns `true` iff any grant changed, so
+    /// the runner knows to resize machines and charge the re-partition
+    /// cost. Static and proportional arbiters never re-partition.
+    pub fn release(&mut self, finished: usize, keep: Resources, demands: &[(usize, u64)]) -> bool {
+        if self.policy != ArbiterPolicy::Dynamic {
+            return false;
+        }
+        let freed = self.slices[finished].saturating_sub(keep);
+        self.slices[finished] = keep;
+        if freed.is_empty() || demands.is_empty() {
+            return false;
+        }
+        let weights: Vec<u64> = demands.iter().map(|&(_, d)| d.max(1)).collect();
+        let additions = freed.split_weighted(&weights);
+        for (&(i, _), add) in demands.iter().zip(additions) {
+            self.slices[i] += add;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_the_pool_exactly() {
+        let pool = Resources::new(6, 4);
+        for policy in [
+            ArbiterPolicy::Static,
+            ArbiterPolicy::Proportional,
+            ArbiterPolicy::Dynamic,
+        ] {
+            let a = FabricArbiter::new(policy, pool, &[1, 2, 3]);
+            let total: Resources = a.slices().iter().copied().sum();
+            assert_eq!(total, pool, "{policy} loses or invents resources");
+            for s in a.slices() {
+                assert!(s.fits_in(pool));
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_follows_weights() {
+        let a = FabricArbiter::new(ArbiterPolicy::Proportional, Resources::new(6, 3), &[1, 2]);
+        assert_eq!(a.grant(0), Resources::new(2, 1));
+        assert_eq!(a.grant(1), Resources::new(4, 2));
+    }
+
+    #[test]
+    fn dynamic_release_redistributes_by_demand_and_only_grows() {
+        let pool = Resources::new(6, 6);
+        let mut a = FabricArbiter::new(ArbiterPolicy::Dynamic, pool, &[1, 1, 1]);
+        let before: Vec<Resources> = a.slices().to_vec();
+        assert_eq!(before, vec![Resources::new(2, 2); 3]);
+        let changed = a.release(1, Resources::NONE, &[(0, 100), (2, 300)]);
+        assert!(changed);
+        assert_eq!(a.grant(1), Resources::NONE);
+        assert!(before[0].fits_in(a.grant(0)), "grants only grow");
+        assert!(before[2].fits_in(a.grant(2)), "grants only grow");
+        assert!(
+            a.grant(2).cg() >= a.grant(0).cg(),
+            "heavier demand gets at least as much"
+        );
+        let total: Resources = a.slices().iter().copied().sum();
+        assert_eq!(total, pool, "release conserves the pool");
+    }
+
+    #[test]
+    fn dynamic_release_pins_failed_resources() {
+        let mut a = FabricArbiter::new(ArbiterPolicy::Dynamic, Resources::new(4, 4), &[1, 1]);
+        let changed = a.release(0, Resources::new(1, 0), &[(1, 10)]);
+        assert!(changed);
+        assert_eq!(a.grant(0), Resources::new(1, 0), "dead slots stay put");
+        assert_eq!(a.grant(1), Resources::new(3, 4));
+    }
+
+    #[test]
+    fn static_and_proportional_never_repartition() {
+        for policy in [ArbiterPolicy::Static, ArbiterPolicy::Proportional] {
+            let mut a = FabricArbiter::new(policy, Resources::new(4, 4), &[1, 1]);
+            let before = a.slices().to_vec();
+            assert!(!a.release(0, Resources::NONE, &[(1, 10)]));
+            assert_eq!(a.slices(), before.as_slice());
+        }
+    }
+
+    #[test]
+    fn release_with_no_actives_parks_the_freed_slice() {
+        let mut a = FabricArbiter::new(ArbiterPolicy::Dynamic, Resources::new(4, 4), &[1]);
+        assert!(!a.release(0, Resources::NONE, &[]));
+        assert_eq!(a.grant(0), Resources::NONE);
+    }
+
+    #[test]
+    fn labels_parse_round_trip() {
+        for p in [
+            ArbiterPolicy::Static,
+            ArbiterPolicy::Proportional,
+            ArbiterPolicy::Dynamic,
+        ] {
+            assert_eq!(p.label().parse::<ArbiterPolicy>().unwrap(), p);
+        }
+        assert!("greedy".parse::<ArbiterPolicy>().is_err());
+    }
+}

@@ -1,0 +1,545 @@
+//! The multi-tenant runner: interleaves per-tenant simulators on one core
+//! and one fabric.
+//!
+//! Each tenant owns a [`Simulator`] over its slice of the fabric (a
+//! [`Machine`] resized to the arbiter's grant) and a private run-time
+//! system instance built by the shared policy factory
+//! ([`mrts_baselines::make_policy`]) — mRTS state (MPU history, fault
+//! blacklist) never leaks between tenants. The scheduler picks which
+//! tenant's next block activation runs; everything else is bookkeeping:
+//!
+//! * a context switch is charged only when the core *changes* tenants
+//!   (the first dispatch is free, so one tenant ⇒ zero switches),
+//! * a descheduled tenant's in-flight reconfigurations keep streaming —
+//!   [`Simulator::advance_to`] settles them against the global clock
+//!   before the tenant runs again,
+//! * when a tenant finishes, the dynamic arbiter redistributes its freed
+//!   slice by remaining RISC demand and each beneficiary's machine is
+//!   grown in place (a re-partition cost is charged once, globally).
+
+use crate::arbiter::{ArbiterPolicy, FabricArbiter};
+use crate::scheduler::SchedulerKind;
+use mrts_arch::{ArchError, ArchParams, Cycles, FaultModel, Machine, Resources, SwitchCosts};
+use mrts_baselines::{make_policy, ProfiledTotals};
+use mrts_ise::IseCatalog;
+use mrts_sim::{MultitaskStats, RiscOnlyPolicy, RunStats, RuntimePolicy, Simulator, TenantStats};
+use mrts_workload::Trace;
+use std::fmt;
+
+/// One application competing for the machine.
+#[derive(Debug)]
+pub struct TenantSpec<'a> {
+    /// Display name (reports and stats).
+    pub name: String,
+    /// The tenant's compile-time ISE catalogue.
+    pub catalog: &'a IseCatalog,
+    /// The tenant's block-activation trace.
+    pub trace: &'a Trace,
+    /// Scheduling weight (priority under `prio`, share under `wfq`).
+    pub weight: u64,
+    /// Optional per-tenant injected-fault source (PR 1 substrate); fault
+    /// state stays inside the tenant's own machine slice.
+    pub fault_model: Option<FaultModel>,
+}
+
+impl<'a> TenantSpec<'a> {
+    /// Creates a weight-1, fault-free tenant.
+    #[must_use]
+    pub fn new(name: impl Into<String>, catalog: &'a IseCatalog, trace: &'a Trace) -> Self {
+        TenantSpec {
+            name: name.into(),
+            catalog,
+            trace,
+            weight: 1,
+            fault_model: None,
+        }
+    }
+
+    /// Sets the scheduling weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: u64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Arms an injected-fault source on this tenant's fabric slice.
+    #[must_use]
+    pub fn with_fault_model(mut self, fault_model: FaultModel) -> Self {
+        self.fault_model = Some(fault_model);
+        self
+    }
+}
+
+/// Configuration of a multi-tenant run.
+#[derive(Debug, Clone)]
+pub struct MultitaskConfig {
+    /// Per-tenant run-time system, by factory name
+    /// (see [`mrts_baselines::POLICY_NAMES`]).
+    pub policy: String,
+    /// Fabric space-partitioning discipline.
+    pub arbiter: ArbiterPolicy,
+    /// Core time-sharing discipline.
+    pub scheduler: SchedulerKind,
+    /// Context-switch and re-partition costs.
+    pub costs: SwitchCosts,
+    /// Amortisation gate of the dynamic arbiter: a tenant receives part of
+    /// a freed slice only if its remaining RISC demand is at least this
+    /// many cycles. Growing a slice tempts the tenant's selector into
+    /// fresh (millisecond-scale) fine-grained reloads, which cannot pay
+    /// back in the last few blocks of a trace — Eq. 1 of the paper applied
+    /// at the arbiter level. The default (50 Mcycles ≈ 125 ms at the
+    /// 400 MHz core) covers well over a hundred FG reloads, so only
+    /// tenants with substantial work left are grown; a tenant nearing the
+    /// end of its trace keeps its static share instead.
+    pub repartition_min_demand: Cycles,
+}
+
+impl Default for MultitaskConfig {
+    /// mRTS tenants, dynamic arbiter, weighted-fair core, default costs.
+    fn default() -> Self {
+        MultitaskConfig {
+            policy: "mrts".into(),
+            arbiter: ArbiterPolicy::Dynamic,
+            scheduler: SchedulerKind::WeightedFair,
+            costs: SwitchCosts::default(),
+            repartition_min_demand: Cycles::new(50_000_000),
+        }
+    }
+}
+
+/// Errors of [`run_multitask`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultitaskError {
+    /// The tenant list was empty.
+    NoTenants,
+    /// Machine construction failed (inconsistent `ArchParams`).
+    Arch(ArchError),
+    /// The policy factory rejected the policy name.
+    Policy(String),
+}
+
+impl fmt::Display for MultitaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultitaskError::NoTenants => write!(f, "a multi-tenant run needs at least one tenant"),
+            MultitaskError::Arch(e) => write!(f, "machine construction failed: {e}"),
+            MultitaskError::Policy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultitaskError {}
+
+impl From<ArchError> for MultitaskError {
+    fn from(e: ArchError) -> Self {
+        MultitaskError::Arch(e)
+    }
+}
+
+/// Per-tenant live state inside the runner.
+struct Tenant<'a> {
+    sim: Simulator<'a>,
+    policy: Box<dyn RuntimePolicy>,
+    trace: &'a Trace,
+    cursor: usize,
+    /// `demand_suffix[i]` = Σ over activations `i..` of
+    /// executions × RISC latency — the remaining-work weight the dynamic
+    /// arbiter redistributes by.
+    demand_suffix: Vec<u64>,
+    /// Blocks this tenant finished with *zero* free containers in its
+    /// slice — the persistent-exhaustion signal of the dynamic arbiter.
+    exhausted_blocks: u64,
+    stats: TenantStats,
+}
+
+impl Tenant<'_> {
+    fn runnable(&self) -> bool {
+        self.cursor < self.trace.len()
+    }
+
+    fn remaining_demand(&self) -> u64 {
+        self.demand_suffix.get(self.cursor).copied().unwrap_or(0)
+    }
+
+    /// Whether this tenant's selector has exhausted its slice on a
+    /// majority of its blocks so far. A tenant that mostly leaves
+    /// containers empty gains nothing from a bigger slice — it would only
+    /// pay the larger selection overhead — so the dynamic arbiter skips it.
+    fn slice_constrained(&self) -> bool {
+        self.exhausted_blocks * 2 > self.cursor as u64
+    }
+}
+
+impl fmt::Debug for Tenant<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tenant")
+            .field("app", &self.stats.app)
+            .field("cursor", &self.cursor)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Remaining RISC work per activation suffix (saturating).
+fn demand_suffix(catalog: &IseCatalog, trace: &Trace) -> Vec<u64> {
+    let mut suffix = vec![0u64; trace.len() + 1];
+    for (i, act) in trace.activations().iter().enumerate().rev() {
+        let here: u64 = act
+            .actual
+            .iter()
+            .map(|a| {
+                let lat = catalog
+                    .kernel(a.kernel)
+                    .map(|k| k.risc_latency().get())
+                    .unwrap_or(0);
+                a.executions.saturating_mul(lat)
+            })
+            .fold(0, u64::saturating_add);
+        suffix[i] = suffix[i + 1].saturating_add(here);
+    }
+    suffix.truncate(trace.len().max(1));
+    suffix
+}
+
+/// Runs `specs` concurrently on one machine of physical `budget` (CG-EDPE
+/// and PRC counts, the paper's Fig. 8 axes) and returns the aggregate
+/// statistics. All tenants arrive at time zero; the run ends when the
+/// last one finishes.
+///
+/// Determinism: the runner is single-threaded integer arithmetic driven
+/// by deterministic schedulers and seeded models, so equal inputs give
+/// byte-equal [`MultitaskStats`] on every host.
+///
+/// # Errors
+///
+/// * [`MultitaskError::NoTenants`] if `specs` is empty,
+/// * [`MultitaskError::Arch`] if `params` is inconsistent,
+/// * [`MultitaskError::Policy`] if `cfg.policy` is not a factory name.
+pub fn run_multitask(
+    params: ArchParams,
+    budget: Resources,
+    specs: &[TenantSpec<'_>],
+    cfg: &MultitaskConfig,
+) -> Result<MultitaskStats, MultitaskError> {
+    if specs.is_empty() {
+        return Err(MultitaskError::NoTenants);
+    }
+    // The pool is partitioned in slot units (what `Machine::capacity`
+    // reports and every policy-facing `Resources` value uses).
+    let pool = Machine::new(params.clone(), budget)?.capacity();
+    let weights: Vec<u64> = specs.iter().map(|s| s.weight.max(1)).collect();
+    let mut arbiter = FabricArbiter::new(cfg.arbiter, pool, &weights);
+    let mut scheduler = cfg.scheduler.build(&weights);
+
+    let mut tenants: Vec<Tenant<'_>> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let slice = arbiter.grant(i);
+        let mut machine = match &spec.fault_model {
+            Some(fm) => Machine::with_fault_model(params.clone(), Resources::NONE, fm.clone())?,
+            None => Machine::new(params.clone(), Resources::NONE)?,
+        };
+        let _ = machine.resize_capacity(slice);
+        let totals = ProfiledTotals::from_trace(spec.trace);
+        let mut policy = make_policy(&cfg.policy, spec.catalog, slice, &totals)
+            .map_err(MultitaskError::Policy)?;
+        policy.set_resource_slice(Some(slice));
+        // The tenant's solo RISC-only wall-clock time: the numerator of its
+        // speedup and of the aggregate speedup.
+        let risc_baseline = Simulator::run(
+            spec.catalog,
+            Machine::new(params.clone(), Resources::NONE)?,
+            spec.trace,
+            &mut RiscOnlyPolicy::new(),
+        )
+        .total_makespan();
+        let run = RunStats {
+            policy: policy.name(),
+            ..RunStats::default()
+        };
+        tenants.push(Tenant {
+            sim: Simulator::new(spec.catalog, machine),
+            policy,
+            trace: spec.trace,
+            cursor: 0,
+            demand_suffix: demand_suffix(spec.catalog, spec.trace),
+            exhausted_blocks: 0,
+            stats: TenantStats {
+                tenant: i,
+                app: spec.name.clone(),
+                weight: weights[i],
+                run,
+                risc_baseline,
+                ..TenantStats::default()
+            },
+        });
+    }
+
+    let mut out = MultitaskStats {
+        policy: format!("{}/{}/{}", cfg.policy, cfg.arbiter, cfg.scheduler),
+        ..MultitaskStats::default()
+    };
+    let mut now = Cycles::ZERO;
+    let mut last: Option<usize> = None;
+
+    loop {
+        let runnable: Vec<bool> = tenants.iter().map(Tenant::runnable).collect();
+        if !runnable.contains(&true) {
+            break;
+        }
+        let t = scheduler
+            .pick(&runnable)
+            .expect("scheduler must pick while a tenant is runnable");
+        debug_assert!(runnable[t], "scheduler picked a finished tenant");
+
+        // Context switch: charged only when the core changes hands.
+        if last.is_some() && last != Some(t) {
+            now += cfg.costs.context_switch;
+            out.context_switches += 1;
+            out.switch_cycles += cfg.costs.context_switch;
+            tenants[t].stats.context_switches += 1;
+            tenants[t].stats.switch_cycles += cfg.costs.context_switch;
+        }
+        last = Some(t);
+
+        let finished = {
+            let tenant = &mut tenants[t];
+            // Time the tenant spent descheduled; its DMA-driven loads kept
+            // streaming meanwhile.
+            if now > tenant.sim.now() {
+                tenant.stats.waiting_cycles += now - tenant.sim.now();
+                tenant.sim.advance_to(now);
+            }
+            let t0 = tenant.sim.now();
+            let activation = &tenant.trace.activations()[tenant.cursor];
+            tenant
+                .sim
+                .step_activation(activation, tenant.policy.as_mut(), &mut tenant.stats.run);
+            tenant.cursor += 1;
+            if tenant.sim.machine().free_resources().is_empty() {
+                tenant.exhausted_blocks += 1;
+            }
+            scheduler.charge(t, tenant.sim.now() - t0);
+            now = tenant.sim.now();
+            if tenant.runnable() {
+                false
+            } else {
+                tenant.stats.turnaround = now;
+                true
+            }
+        };
+
+        if finished {
+            // Release the finished tenant's working containers; its
+            // permanently failed slots stay pinned in place. Evicting the
+            // residual artefacts of a *finished* tenant destroys no useful
+            // work, so this reclamation does not count towards
+            // `repartition_evictions` (which measures work lost by running
+            // tenants to arbiter shrinks).
+            let keep = tenants[t].sim.machine().failed_resources();
+            let _ = tenants[t].sim.machine_mut().resize_capacity(keep);
+            tenants[t].policy.set_resource_slice(Some(Resources::NONE));
+
+            // Beneficiaries: still-active tenants with enough work left to
+            // amortise the reconfigurations a bigger slice invites, and
+            // whose selector persistently exhausts the slice it already
+            // has (see [`Tenant::slice_constrained`]).
+            let demands: Vec<(usize, u64)> = tenants
+                .iter()
+                .filter(|x| {
+                    x.runnable()
+                        && x.remaining_demand() >= cfg.repartition_min_demand.get()
+                        && x.slice_constrained()
+                })
+                .map(|x| (x.stats.tenant, x.remaining_demand().max(1)))
+                .collect();
+            if arbiter.release(t, keep, &demands) {
+                out.repartitions += 1;
+                out.repartition_cycles += cfg.costs.repartition;
+                now += cfg.costs.repartition;
+                for &(i, _) in &demands {
+                    let grant = arbiter.grant(i);
+                    let target = grant.saturating_sub(tenants[i].sim.machine().failed_resources());
+                    let evicted = tenants[i].sim.machine_mut().resize_capacity(target);
+                    tenants[i].stats.repartition_evictions += evicted.len() as u64;
+                    tenants[i].policy.set_resource_slice(Some(grant));
+                }
+            }
+        }
+    }
+
+    out.makespan = now;
+    out.tenants = tenants.into_iter().map(|t| t.stats).collect();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrts_workload::synthetic::{synthetic_trace, Pattern, ToyApp};
+    use mrts_workload::WorkloadModel;
+
+    fn toy_setup() -> (IseCatalog, Trace) {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(300)], 6);
+        (catalog, trace)
+    }
+
+    #[test]
+    fn rejects_empty_tenant_list() {
+        let cfg = MultitaskConfig::default();
+        let err = run_multitask(ArchParams::default(), Resources::new(2, 2), &[], &cfg);
+        assert_eq!(err.unwrap_err(), MultitaskError::NoTenants);
+    }
+
+    #[test]
+    fn rejects_unknown_policy() {
+        let (catalog, trace) = toy_setup();
+        let specs = [TenantSpec::new("t", &catalog, &trace)];
+        let cfg = MultitaskConfig {
+            policy: "bogus".into(),
+            ..MultitaskConfig::default()
+        };
+        let err = run_multitask(ArchParams::default(), Resources::new(2, 2), &specs, &cfg);
+        assert!(matches!(err, Err(MultitaskError::Policy(_))));
+    }
+
+    #[test]
+    fn single_tenant_charges_no_switches() {
+        let (catalog, trace) = toy_setup();
+        let specs = [TenantSpec::new("solo", &catalog, &trace)];
+        let stats = run_multitask(
+            ArchParams::default(),
+            Resources::new(2, 2),
+            &specs,
+            &MultitaskConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.context_switches, 0);
+        assert_eq!(stats.repartitions, 0);
+        assert_eq!(stats.tenants[0].waiting_cycles, Cycles::ZERO);
+        assert_eq!(stats.tenants[0].turnaround, stats.makespan);
+        assert!(stats.makespan > Cycles::ZERO);
+    }
+
+    #[test]
+    fn two_tenants_interleave_and_both_finish() {
+        let (catalog, trace) = toy_setup();
+        let specs = [
+            TenantSpec::new("a", &catalog, &trace),
+            TenantSpec::new("b", &catalog, &trace).with_weight(2),
+        ];
+        let stats = run_multitask(
+            ArchParams::default(),
+            Resources::new(2, 2),
+            &specs,
+            &MultitaskConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.tenants.len(), 2);
+        for t in &stats.tenants {
+            assert_eq!(t.run.total_executions(), 6 * 300);
+            assert!(
+                t.turnaround > Cycles::ZERO,
+                "tenant {} never finished",
+                t.app
+            );
+        }
+        assert!(stats.context_switches > 0, "two tenants must interleave");
+        assert_eq!(
+            stats.makespan,
+            stats.tenants.iter().map(|t| t.turnaround).max().unwrap()
+        );
+        // The identical workloads under equal fabric shares should be
+        // treated fairly by WFQ even with a 1:2 weight skew on the core.
+        assert!(
+            stats.jain_fairness() > 0.5,
+            "jain {}",
+            stats.jain_fairness()
+        );
+    }
+
+    #[test]
+    fn dynamic_repartitions_when_a_tenant_finishes() {
+        let (catalog, trace) = toy_setup();
+        let short = synthetic_trace(&ToyApp::new(), &[Pattern::Constant(50)], 2);
+        let specs = [
+            TenantSpec::new("long", &catalog, &trace),
+            TenantSpec::new("short", &catalog, &short),
+        ];
+        let cfg = MultitaskConfig {
+            arbiter: ArbiterPolicy::Dynamic,
+            // The toy workload is far below the default amortisation gate.
+            repartition_min_demand: Cycles::ZERO,
+            ..MultitaskConfig::default()
+        };
+        // A deliberately starved fabric (one PRC per tenant, no CG) keeps
+        // the surviving tenant slice-constrained, so the short tenant's
+        // exit must trigger a re-partition.
+        let stats =
+            run_multitask(ArchParams::default(), Resources::new(0, 2), &specs, &cfg).unwrap();
+        assert_eq!(stats.repartitions, 1, "short tenant's exit frees its slice");
+        assert!(stats.repartition_cycles > Cycles::ZERO);
+    }
+
+    #[test]
+    fn dynamic_skips_repartition_when_no_tenant_is_constrained() {
+        let (catalog, trace) = toy_setup();
+        let short = synthetic_trace(&ToyApp::new(), &[Pattern::Constant(50)], 2);
+        let specs = [
+            TenantSpec::new("long", &catalog, &trace),
+            TenantSpec::new("short", &catalog, &short),
+        ];
+        let cfg = MultitaskConfig {
+            arbiter: ArbiterPolicy::Dynamic,
+            repartition_min_demand: Cycles::ZERO,
+            ..MultitaskConfig::default()
+        };
+        // A roomy fabric: the toy app leaves containers free, so growing
+        // its slice could not help and the arbiter must hold back.
+        let stats =
+            run_multitask(ArchParams::default(), Resources::new(4, 3), &specs, &cfg).unwrap();
+        assert_eq!(stats.repartitions, 0, "unconstrained tenants are not grown");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let (catalog, trace) = toy_setup();
+        let mk = || {
+            let specs = [
+                TenantSpec::new("a", &catalog, &trace),
+                TenantSpec::new("b", &catalog, &trace).with_weight(3),
+            ];
+            run_multitask(
+                ArchParams::default(),
+                Resources::new(3, 2),
+                &specs,
+                &MultitaskConfig::default(),
+            )
+            .unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn per_tenant_fault_state_stays_private() {
+        let (catalog, trace) = toy_setup();
+        let specs = [
+            TenantSpec::new("faulty", &catalog, &trace).with_fault_model(FaultModel::new(0.9, 7)),
+            TenantSpec::new("clean", &catalog, &trace),
+        ];
+        let stats = run_multitask(
+            ArchParams::default(),
+            Resources::new(2, 2),
+            &specs,
+            &MultitaskConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.tenants[1].run.failed_loads, 0, "faults must not leak");
+        for t in &stats.tenants {
+            assert_eq!(t.run.total_executions(), 6 * 300);
+        }
+    }
+}

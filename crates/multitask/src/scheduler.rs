@@ -1,0 +1,313 @@
+//! Core-time schedulers: which runnable tenant gets the core next.
+//!
+//! Functional blocks are the scheduling quanta — a trigger instruction
+//! hands the core to the run-time system and the block runs to completion,
+//! so preemption happens only at block boundaries (the same granularity at
+//! which the paper's mRTS itself takes decisions). All three schedulers
+//! are pure integer machines: given the same pick/charge sequence they
+//! reproduce the same schedule bit-for-bit, which keeps multi-tenant runs
+//! deterministic across hosts and thread counts.
+
+use mrts_arch::Cycles;
+use std::fmt;
+use std::str::FromStr;
+
+/// A core-time scheduling discipline.
+///
+/// The runner calls [`Scheduler::pick`] before every block activation and
+/// [`Scheduler::charge`] after it with the cycles the block actually
+/// consumed. Implementations must be deterministic: equal inputs must
+/// produce equal picks (ties break towards the lowest tenant index).
+pub trait Scheduler: fmt::Debug {
+    /// Short diagnostic name (`rr`, `prio`, `wfq`).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the next tenant among the runnable ones (`runnable[i]` is
+    /// `true` iff tenant `i` still has blocks to execute). Returns `None`
+    /// iff no tenant is runnable.
+    fn pick(&mut self, runnable: &[bool]) -> Option<usize>;
+
+    /// Accounts `consumed` core cycles to `tenant` after it ran a block.
+    fn charge(&mut self, tenant: usize, consumed: Cycles);
+}
+
+/// Round-robin with a time quantum: a tenant keeps the core for
+/// consecutive blocks until it has consumed at least `quantum` cycles,
+/// then the core rotates to the next runnable tenant. A quantum of zero
+/// rotates after every single block.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    quantum: Cycles,
+    current: Option<usize>,
+    used: Cycles,
+}
+
+impl RoundRobin {
+    /// Creates the scheduler with the given time quantum.
+    #[must_use]
+    pub fn new(quantum: Cycles) -> Self {
+        RoundRobin {
+            quantum,
+            current: None,
+            used: Cycles::ZERO,
+        }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn pick(&mut self, runnable: &[bool]) -> Option<usize> {
+        if let Some(cur) = self.current {
+            if cur < runnable.len()
+                && runnable[cur]
+                && self.quantum > Cycles::ZERO
+                && self.used < self.quantum
+            {
+                return Some(cur);
+            }
+        }
+        let start = self.current.map_or(0, |c| c + 1);
+        let n = runnable.len();
+        for off in 0..n {
+            let idx = (start + off) % n;
+            if runnable[idx] {
+                self.current = Some(idx);
+                self.used = Cycles::ZERO;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn charge(&mut self, tenant: usize, consumed: Cycles) {
+        if self.current == Some(tenant) {
+            self.used += consumed;
+        }
+    }
+}
+
+/// Strict priority: always the runnable tenant with the highest weight
+/// (ties break towards the lowest index). Lower-priority tenants run only
+/// when every higher-priority one has finished — the discipline that
+/// maximally *violates* fairness, kept as the Jain-index floor.
+#[derive(Debug, Clone)]
+pub struct StrictPriority {
+    weights: Vec<u64>,
+}
+
+impl StrictPriority {
+    /// Creates the scheduler; `weights[i]` is tenant `i`'s priority.
+    #[must_use]
+    pub fn new(weights: &[u64]) -> Self {
+        StrictPriority {
+            weights: weights.to_vec(),
+        }
+    }
+}
+
+impl Scheduler for StrictPriority {
+    fn name(&self) -> &'static str {
+        "prio"
+    }
+
+    fn pick(&mut self, runnable: &[bool]) -> Option<usize> {
+        (0..runnable.len())
+            .filter(|&i| runnable[i])
+            .max_by_key(|&i| {
+                (
+                    self.weights.get(i).copied().unwrap_or(0),
+                    usize::MAX - i, // tie → lowest index
+                )
+            })
+    }
+
+    fn charge(&mut self, _tenant: usize, _consumed: Cycles) {}
+}
+
+/// Fixed-point scale of the weighted-fair virtual clock (integer
+/// arithmetic keeps the schedule exactly reproducible).
+const WFQ_SCALE: u128 = 1 << 20;
+
+/// Weighted-fair queuing over virtual time: each tenant accumulates
+/// `consumed × SCALE / weight` virtual cycles and the runnable tenant with
+/// the smallest virtual clock runs next (ties break towards the lowest
+/// index). Long-run core shares converge to the weight ratios, and no
+/// runnable tenant starves: its virtual clock stands still while it
+/// waits, so it overtakes any tenant that keeps running.
+#[derive(Debug, Clone)]
+pub struct WeightedFair {
+    weights: Vec<u64>,
+    vtime: Vec<u128>,
+}
+
+impl WeightedFair {
+    /// Creates the scheduler; `weights[i]` is tenant `i`'s share (zero is
+    /// treated as one).
+    #[must_use]
+    pub fn new(weights: &[u64]) -> Self {
+        WeightedFair {
+            vtime: vec![0; weights.len()],
+            weights: weights.to_vec(),
+        }
+    }
+}
+
+impl Scheduler for WeightedFair {
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+
+    fn pick(&mut self, runnable: &[bool]) -> Option<usize> {
+        (0..runnable.len())
+            .filter(|&i| runnable[i])
+            .min_by_key(|&i| (self.vtime.get(i).copied().unwrap_or(0), i))
+    }
+
+    fn charge(&mut self, tenant: usize, consumed: Cycles) {
+        if let (Some(v), Some(&w)) = (self.vtime.get_mut(tenant), self.weights.get(tenant)) {
+            *v += u128::from(consumed.get()) * WFQ_SCALE / u128::from(w.max(1));
+        }
+    }
+}
+
+/// Selector for the scheduling discipline a multi-tenant run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// [`RoundRobin`] with the given quantum.
+    RoundRobin(Cycles),
+    /// [`StrictPriority`] over the tenant weights.
+    StrictPriority,
+    /// [`WeightedFair`] over the tenant weights.
+    WeightedFair,
+}
+
+impl SchedulerKind {
+    /// Default round-robin quantum (≈ a few H.264 macroblock rows at the
+    /// paper's 400 MHz core).
+    pub const DEFAULT_QUANTUM: Cycles = Cycles::new(200_000);
+
+    /// Builds the scheduler for `weights.len()` tenants.
+    #[must_use]
+    pub fn build(&self, weights: &[u64]) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::RoundRobin(q) => Box::new(RoundRobin::new(*q)),
+            SchedulerKind::StrictPriority => Box::new(StrictPriority::new(weights)),
+            SchedulerKind::WeightedFair => Box::new(WeightedFair::new(weights)),
+        }
+    }
+}
+
+impl FromStr for SchedulerKind {
+    type Err = String;
+
+    /// Parses `rr` (default quantum), `prio` or `wfq`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rr" => Ok(SchedulerKind::RoundRobin(Self::DEFAULT_QUANTUM)),
+            "prio" => Ok(SchedulerKind::StrictPriority),
+            "wfq" => Ok(SchedulerKind::WeightedFair),
+            other => Err(format!("unknown scheduler '{other}' (rr|prio|wfq)")),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerKind::RoundRobin(_) => write!(f, "rr"),
+            SchedulerKind::StrictPriority => write!(f, "prio"),
+            SchedulerKind::WeightedFair => write!(f, "wfq"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_each_block_with_zero_quantum() {
+        let mut rr = RoundRobin::new(Cycles::ZERO);
+        let runnable = vec![true, true, true];
+        let picks: Vec<usize> = (0..6)
+            .map(|_| {
+                let t = rr.pick(&runnable).unwrap();
+                rr.charge(t, Cycles::new(10));
+                t
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_honours_quantum_and_skips_finished() {
+        let mut rr = RoundRobin::new(Cycles::new(100));
+        let mut runnable = vec![true, true, true];
+        assert_eq!(rr.pick(&runnable), Some(0));
+        rr.charge(0, Cycles::new(60));
+        assert_eq!(rr.pick(&runnable), Some(0), "quantum not yet used up");
+        rr.charge(0, Cycles::new(60));
+        assert_eq!(rr.pick(&runnable), Some(1), "quantum exceeded");
+        rr.charge(1, Cycles::new(200));
+        runnable[2] = false; // tenant 2 finished
+        assert_eq!(rr.pick(&runnable), Some(0), "rotation skips finished");
+    }
+
+    #[test]
+    fn strict_priority_prefers_heavy_then_low_index() {
+        let mut p = StrictPriority::new(&[1, 5, 5]);
+        assert_eq!(p.pick(&[true, true, true]), Some(1), "tie → lowest index");
+        assert_eq!(p.pick(&[true, false, true]), Some(2));
+        assert_eq!(p.pick(&[true, false, false]), Some(0));
+        assert_eq!(p.pick(&[false, false, false]), None);
+    }
+
+    #[test]
+    fn weighted_fair_converges_to_weight_ratio() {
+        let mut w = WeightedFair::new(&[1, 3]);
+        let runnable = vec![true, true];
+        let mut served = [0u64, 0u64];
+        for _ in 0..400 {
+            let t = w.pick(&runnable).unwrap();
+            served[t] += 100;
+            w.charge(t, Cycles::new(100));
+        }
+        let share = served[1] as f64 / (served[0] + served[1]) as f64;
+        assert!(
+            (share - 0.75).abs() < 0.02,
+            "weight-3 tenant got {share} of the core"
+        );
+    }
+
+    #[test]
+    fn weighted_fair_never_starves_a_runnable_tenant() {
+        let mut w = WeightedFair::new(&[1, 1000]);
+        let runnable = vec![true, true];
+        let mut gap = 0u32;
+        let mut worst = 0u32;
+        for _ in 0..2_000 {
+            let t = w.pick(&runnable).unwrap();
+            w.charge(t, Cycles::new(50));
+            if t == 0 {
+                worst = worst.max(gap);
+                gap = 0;
+            } else {
+                gap += 1;
+            }
+        }
+        assert!(worst < 1_500, "light tenant waited {worst} picks");
+    }
+
+    #[test]
+    fn kind_parses_and_builds() {
+        for (s, name) in [("rr", "rr"), ("prio", "prio"), ("wfq", "wfq")] {
+            let kind: SchedulerKind = s.parse().unwrap();
+            assert_eq!(kind.to_string(), name);
+            assert_eq!(kind.build(&[1, 1]).name(), name);
+        }
+        assert!("lottery".parse::<SchedulerKind>().is_err());
+    }
+}

@@ -110,12 +110,31 @@ impl<'a> Simulator<'a> {
             ..RunStats::default()
         };
         for activation in trace.activations() {
-            self.run_activation(activation, policy, &mut stats);
+            self.step_activation(activation, policy, &mut stats);
         }
         stats
     }
 
-    fn run_activation(
+    /// Advances the clock to `t` without executing anything — simulated time
+    /// passing while another task owns the core. Reconfigurations already in
+    /// flight keep streaming (the DMA-driven configuration ports need no
+    /// core attention), so a descheduled task's loads settle while it waits.
+    /// Does nothing if `t` is not in the future.
+    pub fn advance_to(&mut self, t: Cycles) {
+        if t > self.now {
+            self.now = t;
+            self.machine.settle(t);
+        }
+    }
+
+    /// Simulates exactly one block activation at the current simulation
+    /// time, folding its timings into `stats`.
+    ///
+    /// [`Simulator::run_trace`] is nothing but a loop over this method; the
+    /// multi-tenant scheduler instead interleaves `step_activation` calls
+    /// across several per-tenant simulators, using [`Simulator::advance_to`]
+    /// to model the time a task spends descheduled.
+    pub fn step_activation(
         &mut self,
         activation: &mrts_workload::BlockActivation,
         policy: &mut dyn RuntimePolicy,

@@ -47,4 +47,6 @@ pub use policy::{
     BlockPlan, ExecContext, ExecMode, ExecPlan, FaultEvent, RiscOnlyPolicy, RuntimePolicy,
     SelectionContext,
 };
-pub use stats::{BlockStats, ExecClass, KernelStats, RunStats};
+pub use stats::{
+    jain_index, BlockStats, ExecClass, KernelStats, MultitaskStats, RunStats, TenantStats,
+};

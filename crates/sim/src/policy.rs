@@ -16,7 +16,7 @@
 //! actually observed kernel behaviour back (the hook the Monitoring &
 //! Prediction Unit uses).
 
-use mrts_arch::{Cycles, FabricKind, FaultKind, Machine};
+use mrts_arch::{Cycles, FabricKind, FaultKind, Machine, Resources};
 use mrts_ise::{IseCatalog, IseId, KernelId, TriggerBlock, UnitId};
 use mrts_workload::KernelActivity;
 
@@ -162,6 +162,16 @@ pub trait RuntimePolicy {
     /// resource vector — override this; the default ignores the event.
     fn notify_fault(&mut self, event: &FaultEvent) {
         let _ = event;
+    }
+
+    /// Informs the policy that an external fabric arbiter has granted it a
+    /// resource slice (`Some`) or returned it to exclusive machine ownership
+    /// (`None`). A multi-tenant runner calls this whenever the partition
+    /// changes, so slice-aware policies can cap their selection budget.
+    /// Policies that always plan against the machine's free resources — every
+    /// baseline — may ignore it, which is the default.
+    fn set_resource_slice(&mut self, slice: Option<Resources>) {
+        let _ = slice;
     }
 }
 

@@ -181,6 +181,148 @@ impl RunStats {
     }
 }
 
+/// Statistics of one tenant (one application) in a multi-tenant run.
+///
+/// Wraps the tenant's ordinary [`RunStats`] with the scheduling-level
+/// quantities that only exist when several applications time-share one
+/// machine: turnaround, waiting time, switch/repartition costs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tenant index (stable across runs; also the scheduler tie-break key).
+    pub tenant: usize,
+    /// Application name.
+    pub app: String,
+    /// Scheduling weight (share under the weighted-fair policy).
+    pub weight: u64,
+    /// The tenant's own simulation statistics.
+    pub run: RunStats,
+    /// Global time at which the tenant's last block finished (turnaround;
+    /// every tenant arrives at time zero).
+    pub turnaround: Cycles,
+    /// Cycles the tenant spent runnable but descheduled.
+    pub waiting_cycles: Cycles,
+    /// Times the core switched *to* this tenant from a different one.
+    pub context_switches: u64,
+    /// Core cycles charged to those switches.
+    pub switch_cycles: Cycles,
+    /// Artefacts evicted from the tenant's partition by arbiter shrinks.
+    pub repartition_evictions: u64,
+    /// Execution time of the same trace on the bare RISC core (analytic;
+    /// the numerator of the tenant's speedup).
+    pub risc_baseline: Cycles,
+}
+
+impl TenantStats {
+    /// The tenant's speedup: RISC-only execution time over turnaround.
+    /// Returns 0.0 before the tenant has finished.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.turnaround == Cycles::ZERO {
+            return 0.0;
+        }
+        self.risc_baseline.get() as f64 / self.turnaround.get() as f64
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over a set of per-tenant
+/// allocations. 1.0 = perfectly fair; `1/n` = one tenant gets everything.
+/// Empty or all-zero inputs return 1.0 (nothing is being shared unfairly).
+#[must_use]
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 == 0.0 {
+        return 1.0;
+    }
+    (s * s) / (xs.len() as f64 * s2)
+}
+
+/// Aggregate statistics of one multi-tenant run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MultitaskStats {
+    /// Label of the scheduler + arbiter + per-tenant policy combination.
+    pub policy: String,
+    /// Per-tenant statistics, in tenant order.
+    pub tenants: Vec<TenantStats>,
+    /// Global wall-clock span (all tenants arrive at 0; this is when the
+    /// last one finishes, switch costs included).
+    pub makespan: Cycles,
+    /// Total context switches charged.
+    pub context_switches: u64,
+    /// Total core cycles spent switching tenants.
+    pub switch_cycles: Cycles,
+    /// Times the fabric arbiter changed the partition.
+    pub repartitions: u64,
+    /// Core cycles charged for those re-partitions.
+    pub repartition_cycles: Cycles,
+}
+
+impl MultitaskStats {
+    /// Aggregate speedup: total RISC-only work of all tenants divided by
+    /// the global makespan — how much faster the shared machine finishes
+    /// the whole mix than a bare RISC core running the apps back-to-back.
+    #[must_use]
+    pub fn aggregate_speedup(&self) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            return 0.0;
+        }
+        let total_risc: u64 = self.tenants.iter().map(|t| t.risc_baseline.get()).sum();
+        total_risc as f64 / self.makespan.get() as f64
+    }
+
+    /// Jain fairness index over the per-tenant speedups.
+    #[must_use]
+    pub fn jain_fairness(&self) -> f64 {
+        let xs: Vec<f64> = self.tenants.iter().map(TenantStats::speedup).collect();
+        jain_index(&xs)
+    }
+
+    /// Kernel executions completed per million cycles of makespan.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            return 0.0;
+        }
+        let execs: u64 = self.tenants.iter().map(|t| t.run.total_executions()).sum();
+        execs as f64 / self.makespan.as_mcycles()
+    }
+}
+
+impl fmt::Display for MultitaskStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} tenants, makespan {:.3} Mcycles, agg speedup {:.3}x, \
+             Jain {:.3}, {} switches ({:.3} Mcycles), {} repartitions",
+            self.policy,
+            self.tenants.len(),
+            self.makespan.as_mcycles(),
+            self.aggregate_speedup(),
+            self.jain_fairness(),
+            self.context_switches,
+            self.switch_cycles.as_mcycles(),
+            self.repartitions
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  [{}] {} (w={}): speedup {:.3}x, turnaround {:.3} Mcycles, \
+                 waited {:.3} Mcycles",
+                t.tenant,
+                t.app,
+                t.weight,
+                t.speedup(),
+                t.turnaround.as_mcycles(),
+                t.waiting_cycles.as_mcycles()
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -277,5 +419,44 @@ mod tests {
         assert_eq!(s.total_busy(), Cycles::ZERO);
         assert_eq!(s.speedup_vs(&s), 0.0);
         assert_eq!(s.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        // Equal shares are perfectly fair.
+        assert!((jain_index(&[2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+        // One tenant hogging everything gives 1/n.
+        assert!((jain_index(&[5.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Intermediate cases stay in (1/n, 1).
+        let j = jain_index(&[1.0, 2.0, 3.0]);
+        assert!(j > 1.0 / 3.0 && j < 1.0, "{j}");
+    }
+
+    #[test]
+    fn multitask_aggregates() {
+        let mk = |tenant: usize, risc: u64, turnaround: u64| TenantStats {
+            tenant,
+            app: format!("app{tenant}"),
+            weight: 1,
+            risc_baseline: Cycles::new(risc),
+            turnaround: Cycles::new(turnaround),
+            ..TenantStats::default()
+        };
+        let m = MultitaskStats {
+            policy: "test".into(),
+            tenants: vec![mk(0, 1_000, 500), mk(1, 1_000, 1_000)],
+            makespan: Cycles::new(1_000),
+            ..MultitaskStats::default()
+        };
+        // 2000 cycles of RISC work done in 1000 cycles of wall clock.
+        assert!((m.aggregate_speedup() - 2.0).abs() < 1e-12);
+        // Speedups 2.0 and 1.0 → Jain = 9/10.
+        assert!((m.jain_fairness() - 0.9).abs() < 1e-12);
+        let empty = MultitaskStats::default();
+        assert_eq!(empty.aggregate_speedup(), 0.0);
+        assert_eq!(empty.jain_fairness(), 1.0);
+        assert_eq!(empty.throughput(), 0.0);
     }
 }

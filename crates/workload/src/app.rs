@@ -20,6 +20,43 @@ pub struct FunctionalBlock {
     pub kernels: Vec<KernelId>,
 }
 
+/// Why [`Application::try_merged`] refused to merge a set of applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// No applications were given.
+    Empty,
+    /// The concatenated kernel count exceeds the 16-bit [`KernelId`] space.
+    KernelIdOverflow {
+        /// Total kernels across all components.
+        total: usize,
+    },
+    /// The concatenated block count exceeds the 16-bit [`BlockId`] space.
+    BlockIdOverflow {
+        /// Total blocks across all components.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "merging requires at least one application"),
+            MergeError::KernelIdOverflow { total } => write!(
+                f,
+                "merged kernel count {total} exceeds the 16-bit KernelId space ({})",
+                u16::MAX
+            ),
+            MergeError::BlockIdOverflow { total } => write!(
+                f,
+                "merged block count {total} exceeds the 16-bit BlockId space ({})",
+                u16::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// A complete application: kernel specifications plus the functional-block
 /// structure over them.
 #[derive(Debug, Clone)]
@@ -94,33 +131,75 @@ impl Application {
     ///
     /// # Panics
     ///
-    /// Panics if `apps` is empty.
+    /// Panics if `apps` is empty or the merged id spaces overflow the
+    /// 16-bit [`KernelId`] / [`BlockId`] ranges (see
+    /// [`Application::try_merged`] for the non-panicking form).
     #[must_use]
     pub fn merged(name: impl Into<String>, apps: &[&Application]) -> (Application, Vec<u16>) {
-        assert!(
-            !apps.is_empty(),
-            "merging requires at least one application"
-        );
+        match Application::try_merged(name, apps) {
+            Ok(merged) => merged,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Application::merged`]: kernel-id re-basing and
+    /// block renumbering are overflow-checked instead of silently
+    /// truncating past 65 535 ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::Empty`] for an empty `apps` slice, and
+    /// [`MergeError::KernelIdOverflow`] / [`MergeError::BlockIdOverflow`]
+    /// when the concatenated kernel or block count does not fit a `u16`.
+    pub fn try_merged(
+        name: impl Into<String>,
+        apps: &[&Application],
+    ) -> Result<(Application, Vec<u16>), MergeError> {
+        if apps.is_empty() {
+            return Err(MergeError::Empty);
+        }
+        let total_kernels: usize = apps.iter().map(|a| a.kernel_count()).sum();
+        if total_kernels > usize::from(u16::MAX) {
+            return Err(MergeError::KernelIdOverflow {
+                total: total_kernels,
+            });
+        }
+        let total_blocks: usize = apps.iter().map(|a| a.blocks().len()).sum();
+        if total_blocks > usize::from(u16::MAX) {
+            return Err(MergeError::BlockIdOverflow {
+                total: total_blocks,
+            });
+        }
         let mut specs = Vec::new();
         let mut offsets = Vec::with_capacity(apps.len());
         let mut rebased_blocks: Vec<Vec<FunctionalBlock>> = Vec::with_capacity(apps.len());
         for app in apps {
-            let offset = specs.len() as u16;
+            // Checked above: specs.len() stays within u16 for every prefix.
+            let offset = u16::try_from(specs.len()).expect("total kernel count checked");
             offsets.push(offset);
             specs.extend(app.kernel_specs().iter().cloned());
             rebased_blocks.push(
                 app.blocks()
                     .iter()
-                    .map(|b| FunctionalBlock {
-                        id: BlockId(0), // renumbered below
-                        name: format!("{}::{}", app.name(), b.name),
-                        kernels: b
+                    .map(|b| {
+                        let kernels = b
                             .kernels
                             .iter()
-                            .map(|k| KernelId(k.index() + offset))
-                            .collect(),
+                            .map(|k| {
+                                k.index().checked_add(offset).map(KernelId).ok_or(
+                                    MergeError::KernelIdOverflow {
+                                        total: total_kernels,
+                                    },
+                                )
+                            })
+                            .collect::<Result<Vec<KernelId>, MergeError>>()?;
+                        Ok(FunctionalBlock {
+                            id: BlockId(0), // renumbered below
+                            name: format!("{}::{}", app.name(), b.name),
+                            kernels,
+                        })
                     })
-                    .collect(),
+                    .collect::<Result<Vec<FunctionalBlock>, MergeError>>()?,
             );
         }
         // Round-robin interleave the component block sequences.
@@ -130,12 +209,12 @@ impl Application {
             for seq in &mut rebased_blocks {
                 if round < seq.len() {
                     let mut b = seq[round].clone();
-                    b.id = BlockId(blocks.len() as u16);
+                    b.id = BlockId(u16::try_from(blocks.len()).expect("total block count checked"));
                     blocks.push(b);
                 }
             }
         }
-        (Application::new(name, specs, blocks), offsets)
+        Ok((Application::new(name, specs, blocks), offsets))
     }
 
     /// Builds the compile-time ISE catalogue for this application.
@@ -347,6 +426,43 @@ mod tests {
             .build_catalog(mrts_arch::ArchParams::default(), None)
             .expect("merged catalog builds");
         assert_eq!(catalog.kernels().len(), 15);
+    }
+
+    #[test]
+    fn try_merged_rejects_kernel_id_overflow() {
+        // Two 40 000-kernel components: 80 000 merged ids would silently
+        // wrap the u16 KernelId space under unchecked arithmetic.
+        let big = Application::new(
+            "big",
+            vec![spec("k"); 40_000],
+            vec![FunctionalBlock {
+                id: BlockId(0),
+                name: "fb".into(),
+                kernels: vec![KernelId(39_999)],
+            }],
+        );
+        let err = Application::try_merged("pair", &[&big, &big]).unwrap_err();
+        assert_eq!(err, MergeError::KernelIdOverflow { total: 80_000 });
+        assert!(err.to_string().contains("80000"));
+        // A single component of the same size is fine and rebases from 0.
+        let (merged, offsets) = Application::try_merged("solo", &[&big]).unwrap();
+        assert_eq!(merged.kernel_count(), 40_000);
+        assert_eq!(offsets, vec![0]);
+    }
+
+    #[test]
+    fn try_merged_rejects_empty_input() {
+        assert_eq!(
+            Application::try_merged("none", &[]).unwrap_err(),
+            MergeError::Empty
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-bit KernelId space")]
+    fn merged_panics_on_overflow_instead_of_truncating() {
+        let big = Application::new("big", vec![spec("k"); 40_000], Vec::new());
+        let _ = Application::merged("pair", &[&big, &big]);
     }
 
     #[test]

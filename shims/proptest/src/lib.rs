@@ -283,7 +283,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Element-count specification accepted by [`vec`].
+    /// Element-count specification accepted by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         start: usize,

@@ -13,5 +13,6 @@ pub use mrts_arch as arch;
 pub use mrts_baselines as baselines;
 pub use mrts_core as core;
 pub use mrts_ise as ise;
+pub use mrts_multitask as multitask;
 pub use mrts_sim as sim;
 pub use mrts_workload as workload;

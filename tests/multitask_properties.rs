@@ -1,0 +1,215 @@
+//! Property-based tests of the multi-tenant run-time: the fabric arbiter
+//! must always hand out a disjoint partition that fits inside the pool
+//! (conservation of fabric), the weighted-fair scheduler must never
+//! starve a runnable tenant, and preempting a tenant must be invisible to
+//! its reconfiguration state (descheduled time passed in many small
+//! `advance_to` steps is identical to one big step — the DMA-driven
+//! configuration ports stream regardless of who owns the core).
+
+use mrts::arch::{ArchParams, Cycles, Machine, Resources};
+use mrts::core::Mrts;
+use mrts::multitask::{ArbiterPolicy, FabricArbiter, Scheduler, WeightedFair};
+use mrts::sim::{RunStats, Simulator};
+use mrts::workload::synthetic::{synthetic_trace, Pattern, ToyApp};
+use mrts::workload::WorkloadModel;
+use proptest::prelude::*;
+
+/// Sum of a slice list, for conservation checks.
+fn total(slices: &[Resources]) -> Resources {
+    slices.iter().fold(Resources::NONE, |acc, &s| acc + s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After construction the partition covers the pool *exactly* (no slot
+    /// lost, none invented) under every arbiter policy, and every slice
+    /// fits inside the pool — the "disjoint and within capacity" invariant
+    /// of ISSUE satellite 3.
+    #[test]
+    fn arbiter_partition_covers_pool_exactly(
+        cg in 0u16..24,
+        prc in 0u16..8,
+        weights in prop::collection::vec(1u64..16, 1..6),
+        policy_ix in 0usize..3,
+    ) {
+        let policy = [ArbiterPolicy::Static, ArbiterPolicy::Proportional, ArbiterPolicy::Dynamic][policy_ix];
+        let pool = Resources::new(cg, prc);
+        let arbiter = FabricArbiter::new(policy, pool, &weights);
+        prop_assert_eq!(arbiter.slices().len(), weights.len());
+        prop_assert_eq!(total(arbiter.slices()), pool, "partition must cover the pool exactly");
+        for &s in arbiter.slices() {
+            prop_assert!(s.checked_sub(Resources::NONE).is_some());
+            prop_assert!(pool.checked_sub(s).is_some(), "slice exceeds the pool");
+        }
+    }
+
+    /// Under any sequence of tenant finishes (each keeping an arbitrary
+    /// sub-slice pinned as failed hardware) the dynamic arbiter conserves
+    /// the fabric: the partition never exceeds the pool, and the grants of
+    /// still-active tenants only ever grow.
+    #[test]
+    fn arbiter_releases_conserve_fabric_and_grow_grants(
+        cg in 0u16..24,
+        prc in 0u16..8,
+        n in 2usize..6,
+        order_seed in 0u64..1000,
+        keep_frac in 0u16..4,
+    ) {
+        let pool = Resources::new(cg, prc);
+        let weights = vec![1u64; n];
+        let mut arbiter = FabricArbiter::new(ArbiterPolicy::Dynamic, pool, &weights);
+        let before: Vec<Resources> = arbiter.slices().to_vec();
+
+        // A deterministic pseudo-random finish order.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = order_seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        let mut active: Vec<bool> = vec![true; n];
+        let mut floor = before.clone();
+        for &f in &order {
+            active[f] = false;
+            // The finished tenant pins a fraction of its grant (failed
+            // slots survive the release).
+            let g = arbiter.grant(f);
+            let keep = Resources::new(
+                g.cg() / (keep_frac + 1).max(1),
+                g.prc() / (keep_frac + 1).max(1),
+            );
+            let demands: Vec<(usize, u64)> = (0..n).filter(|&i| active[i]).map(|i| (i, 1)).collect();
+            arbiter.release(f, keep, &demands);
+
+            prop_assert!(
+                pool.checked_sub(total(arbiter.slices())).is_some(),
+                "partition exceeds the pool after a release"
+            );
+            for i in 0..n {
+                if active[i] {
+                    prop_assert!(
+                        arbiter.grant(i).checked_sub(floor[i]).is_some(),
+                        "an active tenant's grant shrank"
+                    );
+                    floor[i] = arbiter.grant(i);
+                }
+            }
+        }
+    }
+
+    /// The weighted-fair scheduler never starves: over a long all-runnable
+    /// pick/charge loop with arbitrary positive weights, every tenant is
+    /// picked — and within any `n` consecutive picks after warm-up the
+    /// lightest tenant still appears (bounded virtual-time lag).
+    #[test]
+    fn wfq_never_starves_any_runnable_tenant(
+        weights in prop::collection::vec(1u64..1000, 2..6),
+        charge in 1u64..100_000,
+    ) {
+        let n = weights.len();
+        let mut wfq = WeightedFair::new(&weights);
+        let runnable = vec![true; n];
+        let rounds = 200 * n;
+        let mut picks = vec![0u64; n];
+        let mut last_seen = vec![0usize; n];
+        let mut max_gap = vec![0usize; n];
+        for round in 0..rounds {
+            let t = wfq.pick(&runnable).expect("someone is runnable");
+            prop_assert!(t < n);
+            picks[t] += 1;
+            for i in 0..n {
+                if i == t {
+                    last_seen[i] = round;
+                } else {
+                    max_gap[i] = max_gap[i].max(round - last_seen[i]);
+                }
+            }
+            wfq.charge(t, Cycles::new(charge));
+        }
+        let wsum: u64 = weights.iter().sum();
+        for i in 0..n {
+            prop_assert!(picks[i] > 0, "tenant {} was starved", i);
+            // Virtual-time lag bound: a tenant of weight w waits at most
+            // ~wsum/w picks between services (slack 2x + constant for
+            // start-up transients).
+            let bound = 2 * (wsum / weights[i]).max(1) as usize + n + 2;
+            prop_assert!(
+                max_gap[i] <= bound,
+                "tenant {} waited {} picks (bound {})",
+                i, max_gap[i], bound
+            );
+        }
+    }
+
+    /// WFQ never picks a tenant that is not runnable.
+    #[test]
+    fn wfq_respects_the_runnable_mask(
+        weights in prop::collection::vec(1u64..100, 2..6),
+        mask_bits in 0u32..64,
+    ) {
+        let n = weights.len();
+        let runnable: Vec<bool> = (0..n).map(|i| mask_bits >> i & 1 == 1).collect();
+        let mut wfq = WeightedFair::new(&weights);
+        for _ in 0..50 {
+            match wfq.pick(&runnable) {
+                Some(t) => {
+                    prop_assert!(runnable[t], "picked a non-runnable tenant");
+                    wfq.charge(t, Cycles::new(1000));
+                }
+                None => prop_assert!(runnable.iter().all(|r| !r)),
+            }
+        }
+    }
+
+    /// Preempt/resume transparency: a tenant descheduled from time `t0`
+    /// until `t0 + gap` ends up with the *same* machine and simulation
+    /// state whether the idle span is applied as one `advance_to` or
+    /// chopped into `k` arbitrary intermediate steps. In-flight
+    /// reconfigurations stream identically either way, so the remainder
+    /// of the trace must produce bit-identical statistics.
+    #[test]
+    fn preempt_resume_preserves_reconfiguration_state(
+        rounds in 2usize..6,
+        split in 1usize..4,
+        gap in 1u64..2_000_000,
+        k in 2usize..6,
+        cg in 0u16..3,
+        prc in 0u16..3,
+    ) {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .expect("toy kernels are mappable");
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(800)], rounds);
+        let combo = Resources::new(cg, prc);
+        let split = split.min(trace.activations().len() - 1);
+
+        let run = |steps: usize| -> (RunStats, Cycles) {
+            let machine = Machine::new(ArchParams::default(), combo).expect("valid machine");
+            let mut sim = Simulator::new(&catalog, machine);
+            let mut policy = Mrts::new();
+            let mut stats = RunStats::default();
+            for a in &trace.activations()[..split] {
+                sim.step_activation(a, &mut policy, &mut stats);
+            }
+            // The descheduled span, in `steps` arbitrary increments.
+            let t0 = sim.now();
+            for j in 1..=steps {
+                sim.advance_to(t0 + Cycles::new(gap * j as u64 / steps as u64));
+            }
+            sim.advance_to(t0 + Cycles::new(gap));
+            for a in &trace.activations()[split..] {
+                sim.step_activation(a, &mut policy, &mut stats);
+            }
+            (stats, sim.now())
+        };
+
+        let (one, end_one) = run(1);
+        let (many, end_many) = run(k);
+        prop_assert_eq!(one, many, "stats diverge when the idle span is split");
+        prop_assert_eq!(end_one, end_many);
+    }
+}
