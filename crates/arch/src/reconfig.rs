@@ -274,20 +274,16 @@ impl ReconfigurationController {
         self.fg.inflight.iter().chain(self.cg.inflight.iter())
     }
 
-    /// Completion timestamps of every transfer still tracked on either port
-    /// (the residency-change *epoch boundaries* the simulator fast-forwards
-    /// between), ascending.
-    #[must_use]
-    pub fn pending_ready_times(&self) -> Vec<Cycles> {
-        let mut v: Vec<Cycles> = self
-            .fg
-            .inflight
-            .iter()
-            .chain(self.cg.inflight.iter())
-            .map(|t| t.ready_at)
-            .collect();
-        v.sort_unstable();
-        v
+    /// Feeds the completion timestamp of every transfer still tracked on
+    /// either port (the residency-change *epoch boundaries* the simulator
+    /// fast-forwards between) to `f`, FG port first. The simulator's
+    /// `Timeline` boundary queue sorts and deduplicates on insertion, so
+    /// the controller no longer materialises (or orders) a `Vec` per block —
+    /// it *feeds boundary events* instead of leaking its queue state.
+    pub fn feed_pending_ready_times(&self, mut f: impl FnMut(Cycles)) {
+        for t in self.fg.inflight.iter().chain(self.cg.inflight.iter()) {
+            f(t.ready_at);
+        }
     }
 
     fn port(&self, fabric: FabricKind) -> &Port {

@@ -28,6 +28,7 @@ use mrts_core::selector::{select_ises, SelectorConfig};
 use mrts_core::Mrts;
 use mrts_ise::{BlockId, IseCatalog, TriggerBlock, TriggerInstruction, UnitId};
 use mrts_multitask::{run_multitask, MultitaskConfig, TenantSpec};
+use mrts_sim::{Simulator, VecSink};
 use mrts_workload::apps::{CipherApp, FftApp};
 use mrts_workload::h264::h264_application;
 use mrts_workload::{TraceBuilder, VideoModel, WorkloadModel};
@@ -228,6 +229,56 @@ fn main() {
         name: "simulator_throughput",
         value: blocks_per_s,
         unit: "blocks/s",
+        threads: 1,
+    });
+
+    // --- 3b. Engine step cost: the Timeline stepping core ---------------
+    // Per-block-activation cost of `Simulator::step_activation` (clock
+    // advance, boundary queue, epoch scan) measured twice: bare, and with
+    // a `VecSink` attached so the event-spine overhead is visible as its
+    // own number. The two runs must produce identical `RunStats` — the
+    // sink is observation only.
+    let step_reps = if quick { 1 } else { 5 };
+    let mut bare_secs = 0.0f64;
+    let mut recorded_secs = 0.0f64;
+    let mut spine_events = 0usize;
+    for _ in 0..step_reps {
+        let mut policy = Mrts::new();
+        let mut sim = Simulator::new(&tb.catalog, tb.machine(combo));
+        let t = Instant::now();
+        let bare = sim.run_trace(&tb.trace, &mut policy);
+        sim.finish_events();
+        bare_secs += t.elapsed().as_secs_f64();
+
+        let mut policy = Mrts::new();
+        let mut sim = Simulator::new(&tb.catalog, tb.machine(combo));
+        let sink = VecSink::new();
+        sim.attach_events(0, Box::new(sink.clone()));
+        let t = Instant::now();
+        let recorded = sim.run_trace(&tb.trace, &mut policy);
+        sim.finish_events();
+        recorded_secs += t.elapsed().as_secs_f64();
+        assert_eq!(bare, recorded, "event recording perturbed the run");
+        spine_events = sink.len();
+    }
+    let steps = (step_reps * tb.trace.len()) as f64;
+    let engine_step_us = bare_secs * 1e6 / steps;
+    let engine_step_recorded_us = recorded_secs * 1e6 / steps;
+    println!(
+        "engine: {:.2} us/step bare, {engine_step_recorded_us:.2} us/step recording \
+         ({spine_events} spine events per run)",
+        engine_step_us
+    );
+    entries.push(Entry {
+        name: "engine_step_us",
+        value: engine_step_us,
+        unit: "us",
+        threads: 1,
+    });
+    entries.push(Entry {
+        name: "engine_step_recorded_us",
+        value: engine_step_recorded_us,
+        unit: "us",
         threads: 1,
     });
 

@@ -4,8 +4,13 @@ use crate::args::Args;
 use mrts_arch::{ArchParams, Cycles, FabricKind, FaultModel, Machine, Resources};
 use mrts_baselines::{make_policy, ProfiledTotals};
 use mrts_ise::{Ise, IseCatalog};
-use mrts_multitask::{run_multitask, ArbiterPolicy, MultitaskConfig, SchedulerKind, TenantSpec};
-use mrts_sim::{ExecClass, RiscOnlyPolicy, RunStats, RuntimePolicy, Simulator};
+use mrts_multitask::{
+    run_multitask, run_multitask_with_events, ArbiterPolicy, MultitaskConfig, SchedulerKind,
+    TenantSpec,
+};
+use mrts_sim::{
+    events_to_jsonl, ExecClass, RiscOnlyPolicy, RunStats, RuntimePolicy, Simulator, VecSink,
+};
 use mrts_workload::apps::{CipherApp, FftApp};
 use mrts_workload::h264::H264Encoder;
 use mrts_workload::synthetic::ToyApp;
@@ -99,6 +104,42 @@ pub fn catalog(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// One full simulation pass, optionally recording the event spine.
+///
+/// Returns the run statistics plus — when `record` is set — the entire
+/// event log rendered as deterministic JSONL. Used both for the normal
+/// `simulate` path and for the `--threads` determinism check, which
+/// replays the identical configuration on several OS threads and
+/// insists on byte-identical outputs.
+fn simulate_once(
+    catalog: &IseCatalog,
+    trace: &Trace,
+    totals: &ProfiledTotals,
+    combo: Resources,
+    fault: FaultModel,
+    policy_name: &str,
+    record: bool,
+) -> Result<(RunStats, Option<String>), Box<dyn std::error::Error>> {
+    let machine = Machine::with_fault_model(ArchParams::default(), combo, fault)?;
+    let capacity = machine.capacity();
+    let mut p = policy(policy_name, catalog, capacity, totals)?;
+    let mut sim = Simulator::new(catalog, machine);
+    let sink = if record {
+        let sink = VecSink::new();
+        sim.attach_events(0, Box::new(sink.clone()));
+        Some(sink)
+    } else {
+        None
+    };
+    let stats = sim.run_trace(trace, p.as_mut());
+    sim.finish_events();
+    let jsonl = match sink {
+        Some(s) => Some(events_to_jsonl(&s.take())?),
+        None => None,
+    };
+    Ok((stats, jsonl))
+}
+
 /// `mrts-cli simulate` — one app, one machine, one policy.
 pub fn simulate(args: &Args) -> CliResult {
     args.expect_only(&[
@@ -109,6 +150,8 @@ pub fn simulate(args: &Args) -> CliResult {
         "policy",
         "fault-rate",
         "fault-seed",
+        "events-out",
+        "threads",
     ])?;
     let (_, catalog, trace) = build(args)?;
     let combo = Resources::new(args.get_num("cg", 2)?, args.get_num("prc", 2)?);
@@ -117,21 +160,82 @@ pub fn simulate(args: &Args) -> CliResult {
         return Err(format!("--fault-rate {fault_rate} must be within [0, 1]").into());
     }
     let fault_seed: u64 = args.get_num("fault-seed", 1)?;
-    let machine = Machine::with_fault_model(
-        ArchParams::default(),
-        combo,
-        FaultModel::new(fault_rate, fault_seed),
-    )?;
-    let capacity = machine.capacity();
-    let totals = ProfiledTotals::from_trace(&trace);
-    let mut p = policy(args.get_or("policy", "mrts"), &catalog, capacity, &totals)?;
-    let stats = Simulator::run(&catalog, machine, &trace, p.as_mut());
+    let policy_name = args.get_or("policy", "mrts");
+    let events_out = args.get("events-out");
+    let threads: usize = args.get_num("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let record = events_out.is_some() || threads > 1;
+
+    let (stats, jsonl) = if threads > 1 {
+        // Replay the identical configuration on `threads` OS threads and
+        // demand byte-identical statistics and event logs. The simulator
+        // is deterministic by construction; this is the executable proof.
+        let runs: Vec<(RunStats, Option<String>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        simulate_once(
+                            &catalog,
+                            &trace,
+                            &ProfiledTotals::from_trace(&trace),
+                            combo,
+                            FaultModel::new(fault_rate, fault_seed),
+                            policy_name,
+                            record,
+                        )
+                        .map_err(|e| e.to_string())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation thread panicked"))
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+        let first_stats = serde_json::to_string(&runs[0].0)?;
+        for (i, (stats, jsonl)) in runs.iter().enumerate().skip(1) {
+            if serde_json::to_string(stats)? != first_stats || *jsonl != runs[0].1 {
+                return Err(
+                    format!("determinism violation: thread {i} diverged from thread 0").into(),
+                );
+            }
+        }
+        println!("determinism: {threads} threads, byte-identical stats and event logs");
+        let mut runs = runs;
+        runs.swap_remove(0)
+    } else {
+        let totals = ProfiledTotals::from_trace(&trace);
+        simulate_once(
+            &catalog,
+            &trace,
+            &totals,
+            combo,
+            FaultModel::new(fault_rate, fault_seed),
+            policy_name,
+            record,
+        )?
+    };
+    if let (Some(path), Some(log)) = (events_out, &jsonl) {
+        std::fs::write(path, log)?;
+        println!(
+            "events   : wrote {} events ({} bytes) to {path}",
+            log.lines().count(),
+            log.len()
+        );
+    }
 
     // The RISC reference for a speedup line.
     let risc_machine = Machine::new(ArchParams::default(), combo)?;
     let risc = Simulator::run(&catalog, risc_machine, &trace, &mut RiscOnlyPolicy::new());
 
-    println!("machine  : {} ({} usable slots)", combo, capacity);
+    println!(
+        "machine  : {} ({} usable slots)",
+        combo,
+        Machine::new(ArchParams::default(), combo)?.capacity()
+    );
     println!("policy   : {}", stats.policy);
     println!(
         "time     : {:.3} Mcycles ({:.3} busy + {:.3} overhead)",
@@ -235,6 +339,7 @@ pub fn multitask(args: &Args) -> CliResult {
         "sched",
         "fault-rate",
         "fault-seed",
+        "events-out",
     ])?;
     let names: Vec<&str> = args.get_or("apps", "h264,fft").split(',').collect();
     let weights: Vec<u64> = match args.get("weights") {
@@ -297,7 +402,22 @@ pub fn multitask(args: &Args) -> CliResult {
         ..MultitaskConfig::default()
     };
     let budget = Resources::new(args.get_num("cg", 2)?, args.get_num("prc", 2)?);
-    let stats = run_multitask(ArchParams::default(), budget, &specs, &cfg)?;
+    let stats = match args.get("events-out") {
+        Some(path) => {
+            let mut sink = VecSink::new();
+            let stats =
+                run_multitask_with_events(ArchParams::default(), budget, &specs, &cfg, &mut sink)?;
+            let log = events_to_jsonl(&sink.take())?;
+            std::fs::write(path, &log)?;
+            println!(
+                "events: wrote {} events ({} bytes) to {path}",
+                log.lines().count(),
+                log.len()
+            );
+            stats
+        }
+        None => run_multitask(ArchParams::default(), budget, &specs, &cfg)?,
+    };
     print!("{stats}");
     println!(
         "aggregate speedup {:.3}x vs back-to-back RISC, throughput {:.1} execs/Mcycle",

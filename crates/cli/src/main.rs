@@ -4,9 +4,10 @@
 //! mrts-cli catalog  [--app h264|fft|cipher|toy]
 //! mrts-cli simulate [--app ..] [--cg N] [--prc N] [--policy ..] [--seed N]
 //!                   [--fault-rate P] [--fault-seed N]
+//!                   [--events-out FILE] [--threads N]
 //! mrts-cli sweep    [--app ..] [--policy ..] [--seed N] [--format table|csv]
 //! mrts-cli multitask [--apps a,b,..] [--weights w,w,..] [--cg N] [--prc N]
-//!                   [--policy ..] [--arbiter ..] [--sched ..]
+//!                   [--policy ..] [--arbiter ..] [--sched ..] [--events-out FILE]
 //! mrts-cli trace    [--app ..] [--seed N] [--out FILE]
 //! mrts-cli pif      [--app ..] [--kernel NAME] [--max-exec N]
 //! ```
@@ -42,6 +43,11 @@ COMMON FLAGS:
 SIMULATE/MULTITASK-ONLY FLAGS:
     --fault-rate  per-load/per-execution fault probability (default 0.0)
     --fault-seed  fault-injection seed (default 1)
+    --events-out  write the run's event spine as JSONL to FILE
+
+SIMULATE-ONLY FLAGS:
+    --threads  replay the run on N threads and verify byte-identical
+               stats and event logs (default 1)
 
 MULTITASK-ONLY FLAGS:
     --apps     comma-separated tenant list (default h264,fft)
@@ -52,6 +58,7 @@ MULTITASK-ONLY FLAGS:
 EXAMPLES:
     mrts-cli simulate --app h264 --cg 2 --prc 2 --policy mrts
     mrts-cli simulate --app h264 --policy mrts --fault-rate 0.001 --fault-seed 7
+    mrts-cli simulate --app fft --events-out events.jsonl --threads 4
     mrts-cli sweep --policy mrts --format csv > sweep.csv
     mrts-cli multitask --apps h264,fft,cipher --weights 2,1,1 --sched wfq
     mrts-cli pif --kernel deblock --max-exec 10000

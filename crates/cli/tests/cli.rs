@@ -96,6 +96,68 @@ fn pif_prints_the_case_study_table() {
 }
 
 #[test]
+fn simulate_event_logs_are_deterministic_across_runs_and_threads() {
+    let dir = std::env::temp_dir().join("mrts_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let a = dir.join("events_a.jsonl");
+    let b = dir.join("events_b.jsonl");
+    let base = ["simulate", "--app", "toy", "--cg", "1", "--prc", "1"];
+    let mut run_a: Vec<&str> = base.to_vec();
+    run_a.extend(["--events-out", a.to_str().expect("utf8 path")]);
+    let mut run_b: Vec<&str> = base.to_vec();
+    run_b.extend([
+        "--events-out",
+        b.to_str().expect("utf8 path"),
+        "--threads",
+        "4",
+    ]);
+    let out_a = run(&run_a);
+    let out_b = run(&run_b);
+    assert!(out_a.status.success(), "{}", stderr(&out_a));
+    assert!(out_b.status.success(), "{}", stderr(&out_b));
+    assert!(stdout(&out_b).contains("byte-identical"));
+    let log_a = std::fs::read_to_string(&a).expect("log a written");
+    let log_b = std::fs::read_to_string(&b).expect("log b written");
+    assert!(!log_a.is_empty());
+    assert_eq!(log_a, log_b, "event logs must not depend on thread count");
+    for line in log_a.lines() {
+        assert!(
+            line.starts_with(r#"{"tenant":0,"event":{"#) && line.ends_with("}}"),
+            "malformed JSONL line: {line}"
+        );
+    }
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+}
+
+#[test]
+fn multitask_event_logs_are_deterministic() {
+    let dir = std::env::temp_dir().join("mrts_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let a = dir.join("mt_events_a.jsonl");
+    let b = dir.join("mt_events_b.jsonl");
+    for path in [&a, &b] {
+        let out = run(&[
+            "multitask",
+            "--apps",
+            "toy,toy",
+            "--events-out",
+            path.to_str().expect("utf8 path"),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+    }
+    let log_a = std::fs::read_to_string(&a).expect("log a written");
+    let log_b = std::fs::read_to_string(&b).expect("log b written");
+    assert_eq!(log_a, log_b, "multitask event logs must be reproducible");
+    assert!(
+        log_a.contains("TenantDispatch"),
+        "runner events must appear in the log"
+    );
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+}
+
+#[test]
 fn errors_exit_nonzero_with_message() {
     let cases: Vec<(Vec<&str>, &str)> = vec![
         (vec!["simulate", "--policy", "bogus"], "unknown policy"),

@@ -74,5 +74,7 @@ pub mod runner;
 pub mod scheduler;
 
 pub use arbiter::{ArbiterPolicy, FabricArbiter};
-pub use runner::{run_multitask, MultitaskConfig, MultitaskError, TenantSpec};
+pub use runner::{
+    run_multitask, run_multitask_with_events, MultitaskConfig, MultitaskError, TenantSpec,
+};
 pub use scheduler::{RoundRobin, Scheduler, SchedulerKind, StrictPriority, WeightedFair};

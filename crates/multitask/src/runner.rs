@@ -22,6 +22,7 @@ use crate::scheduler::SchedulerKind;
 use mrts_arch::{ArchError, ArchParams, Cycles, FaultModel, Machine, Resources, SwitchCosts};
 use mrts_baselines::{make_policy, ProfiledTotals};
 use mrts_ise::IseCatalog;
+use mrts_sim::timeline::{EventSink, SimEvent, Timeline, VecSink};
 use mrts_sim::{MultitaskStats, RiscOnlyPolicy, RunStats, RuntimePolicy, Simulator, TenantStats};
 use mrts_workload::Trace;
 use std::fmt;
@@ -220,9 +221,50 @@ pub fn run_multitask(
     specs: &[TenantSpec<'_>],
     cfg: &MultitaskConfig,
 ) -> Result<MultitaskStats, MultitaskError> {
+    run_inner(params, budget, specs, cfg, None)
+}
+
+/// Like [`run_multitask`], but additionally streams the typed event spine
+/// into `sink`: every tenant's engine events
+/// ([`SimEvent::BlockStart`]/`ExecBatch`/load life cycle/faults — tagged
+/// with the tenant index) interleaved with the runner's own scheduling
+/// events ([`SimEvent::TenantDispatch`], [`SimEvent::TenantPreempt`],
+/// [`SimEvent::RepartitionGranted`]) in global-clock order.
+///
+/// Recording is strictly observational: the returned [`MultitaskStats`]
+/// are byte-identical to [`run_multitask`]'s. Within one tenant the event
+/// timestamps are monotone; tenants interleave on the global clock, so a
+/// merged multi-tenant log is monotone *per tenant*, not globally.
+///
+/// # Errors
+///
+/// Same conditions as [`run_multitask`].
+pub fn run_multitask_with_events(
+    params: ArchParams,
+    budget: Resources,
+    specs: &[TenantSpec<'_>],
+    cfg: &MultitaskConfig,
+    sink: &mut dyn EventSink,
+) -> Result<MultitaskStats, MultitaskError> {
+    run_inner(params, budget, specs, cfg, Some(sink))
+}
+
+fn run_inner(
+    params: ArchParams,
+    budget: Resources,
+    specs: &[TenantSpec<'_>],
+    cfg: &MultitaskConfig,
+    out_sink: Option<&mut dyn EventSink>,
+) -> Result<MultitaskStats, MultitaskError> {
     if specs.is_empty() {
         return Err(MultitaskError::NoTenants);
     }
+    // All per-tenant simulators and the runner itself record into tagged
+    // clones of one shared buffer, so the merged log keeps the exact
+    // interleaving of the run; it is drained into the caller's sink at the
+    // end. `None` when nobody listens — the engines then skip every
+    // emission at the cost of one branch.
+    let shared: Option<VecSink> = out_sink.as_ref().map(|_| VecSink::new());
     // The pool is partitioned in slot units (what `Machine::capacity`
     // reports and every policy-facing `Resources` value uses).
     let pool = Machine::new(params.clone(), budget)?.capacity();
@@ -255,8 +297,12 @@ pub fn run_multitask(
             policy: policy.name(),
             ..RunStats::default()
         };
+        let mut sim = Simulator::new(spec.catalog, machine);
+        if let Some(s) = &shared {
+            sim.attach_events(i as u32, Box::new(s.clone()));
+        }
         tenants.push(Tenant {
-            sim: Simulator::new(spec.catalog, machine),
+            sim,
             policy,
             trace: spec.trace,
             cursor: 0,
@@ -277,7 +323,11 @@ pub fn run_multitask(
         policy: format!("{}/{}/{}", cfg.policy, cfg.arbiter, cfg.scheduler),
         ..MultitaskStats::default()
     };
-    let mut now = Cycles::ZERO;
+    // The global clock is the same Timeline core the per-tenant engines
+    // step on: monotone `advance_to`/`advance_by` instead of the former
+    // hand-rolled `now` bookkeeping, so there is exactly one notion of
+    // time-keeping across the single- and multi-tenant paths.
+    let mut clock = Timeline::new();
     let mut last: Option<usize> = None;
 
     loop {
@@ -292,7 +342,17 @@ pub fn run_multitask(
 
         // Context switch: charged only when the core changes hands.
         if last.is_some() && last != Some(t) {
-            now += cfg.costs.context_switch;
+            if let (Some(s), Some(prev)) = (&shared, last) {
+                let at = clock.now();
+                s.clone().emit(
+                    prev as u32,
+                    SimEvent::TenantPreempt {
+                        at,
+                        tenant: prev as u32,
+                    },
+                );
+            }
+            clock.advance_by(cfg.costs.context_switch);
             out.context_switches += 1;
             out.switch_cycles += cfg.costs.context_switch;
             tenants[t].stats.context_switches += 1;
@@ -304,9 +364,22 @@ pub fn run_multitask(
             let tenant = &mut tenants[t];
             // Time the tenant spent descheduled; its DMA-driven loads kept
             // streaming meanwhile.
-            if now > tenant.sim.now() {
-                tenant.stats.waiting_cycles += now - tenant.sim.now();
-                tenant.sim.advance_to(now);
+            if clock.now() > tenant.sim.now() {
+                tenant.stats.waiting_cycles += clock.now() - tenant.sim.now();
+                tenant.sim.advance_to(clock.now());
+            }
+            // Dispatch is recorded *after* the catch-up settle so the
+            // tenant's deferred load completions (timestamps at or before
+            // the dispatch) flush first — per-tenant monotonicity.
+            if let Some(s) = &shared {
+                let at = clock.now();
+                s.clone().emit(
+                    t as u32,
+                    SimEvent::TenantDispatch {
+                        at,
+                        tenant: t as u32,
+                    },
+                );
             }
             let t0 = tenant.sim.now();
             let activation = &tenant.trace.activations()[tenant.cursor];
@@ -318,11 +391,14 @@ pub fn run_multitask(
                 tenant.exhausted_blocks += 1;
             }
             scheduler.charge(t, tenant.sim.now() - t0);
-            now = tenant.sim.now();
+            clock.advance_to(tenant.sim.now());
             if tenant.runnable() {
                 false
             } else {
-                tenant.stats.turnaround = now;
+                tenant.stats.turnaround = clock.now();
+                // Reconfigurations can outlive the trace: drain the
+                // tenant's still-deferred completions into the log.
+                tenant.sim.finish_events();
                 true
             }
         };
@@ -354,20 +430,37 @@ pub fn run_multitask(
             if arbiter.release(t, keep, &demands) {
                 out.repartitions += 1;
                 out.repartition_cycles += cfg.costs.repartition;
-                now += cfg.costs.repartition;
+                clock.advance_by(cfg.costs.repartition);
                 for &(i, _) in &demands {
                     let grant = arbiter.grant(i);
                     let target = grant.saturating_sub(tenants[i].sim.machine().failed_resources());
                     let evicted = tenants[i].sim.machine_mut().resize_capacity(target);
                     tenants[i].stats.repartition_evictions += evicted.len() as u64;
                     tenants[i].policy.set_resource_slice(Some(grant));
+                    if let Some(s) = &shared {
+                        let at = clock.now();
+                        s.clone().emit(
+                            i as u32,
+                            SimEvent::RepartitionGranted {
+                                at,
+                                tenant: i as u32,
+                                cg: grant.cg(),
+                                prc: grant.prc(),
+                            },
+                        );
+                    }
                 }
             }
         }
     }
 
-    out.makespan = now;
+    out.makespan = clock.now();
     out.tenants = tenants.into_iter().map(|t| t.stats).collect();
+    if let (Some(s), Some(sink)) = (shared, out_sink) {
+        for (tenant, ev) in s.take() {
+            sink.emit(tenant, ev);
+        }
+    }
     Ok(out)
 }
 

@@ -22,6 +22,7 @@
 
 use crate::policy::{ExecContext, ExecMode, FaultEvent, RuntimePolicy, SelectionContext};
 use crate::stats::{BlockStats, ExecClass, RunStats};
+use crate::timeline::{EventSink, RejectReason, SimEvent, Timeline};
 use mrts_arch::{ArchError, Cycles, FabricKind, FaultKind, Machine};
 use mrts_ise::{IseCatalog, IseId, KernelId, UnitId};
 use mrts_workload::{KernelActivity, Trace};
@@ -32,12 +33,13 @@ use mrts_workload::{KernelActivity, Trace};
 /// affected kernel degrades to its best remaining implementation.
 pub const LOAD_RETRY_BUDGET: u32 = 3;
 
-/// The simulator: machine state plus the global clock.
+/// The simulator: machine state plus the [`Timeline`] (clock, residency
+/// boundary queue and event spine).
 #[derive(Debug)]
 pub struct Simulator<'a> {
     catalog: &'a IseCatalog,
     machine: Machine,
-    now: Cycles,
+    timeline: Timeline,
 }
 
 impl<'a> Simulator<'a> {
@@ -47,8 +49,23 @@ impl<'a> Simulator<'a> {
         Simulator {
             catalog,
             machine,
-            now: Cycles::ZERO,
+            timeline: Timeline::new(),
         }
+    }
+
+    /// Attaches an event sink: every subsequent step emits the typed
+    /// [`SimEvent`] spine (tagged with `tenant`, 0 for solo runs) through
+    /// it. Recording is strictly observational — `RunStats` are
+    /// byte-identical with and without a sink.
+    pub fn attach_events(&mut self, tenant: u32, sink: Box<dyn EventSink>) {
+        self.timeline.attach_sink(tenant, sink);
+    }
+
+    /// Drains events whose timestamps lie beyond the last clock advance
+    /// (reconfigurations can outlive the trace). Call once at the end of a
+    /// run; [`Simulator::run`] does it automatically.
+    pub fn finish_events(&mut self) {
+        self.timeline.finish();
     }
 
     /// Read access to the machine (tests inspect fabric state mid-run).
@@ -68,7 +85,7 @@ impl<'a> Simulator<'a> {
     /// Current simulation time.
     #[must_use]
     pub fn now(&self) -> Cycles {
-        self.now
+        self.timeline.now()
     }
 
     /// Convenience one-shot: build a simulator, run the whole trace, return
@@ -99,7 +116,9 @@ impl<'a> Simulator<'a> {
         policy: &mut dyn RuntimePolicy,
     ) -> RunStats {
         let mut sim = Simulator::new(catalog, machine);
-        sim.run_trace(trace, policy)
+        let stats = sim.run_trace(trace, policy);
+        sim.finish_events();
+        stats
     }
 
     /// Runs a whole trace, consuming simulated time; can be called again
@@ -121,8 +140,8 @@ impl<'a> Simulator<'a> {
     /// core attention), so a descheduled task's loads settle while it waits.
     /// Does nothing if `t` is not in the future.
     pub fn advance_to(&mut self, t: Cycles) {
-        if t > self.now {
-            self.now = t;
+        if t > self.timeline.now() {
+            self.timeline.advance_to(t);
             self.machine.settle(t);
         }
     }
@@ -140,8 +159,13 @@ impl<'a> Simulator<'a> {
         policy: &mut dyn RuntimePolicy,
         stats: &mut RunStats,
     ) {
-        let t0 = self.now;
+        let t0 = self.timeline.now();
         self.machine.settle(t0);
+        self.timeline.emit_with(t0, || SimEvent::BlockStart {
+            at: t0,
+            block: activation.block,
+            frame: activation.frame,
+        });
 
         let plan = {
             let ctx = SelectionContext {
@@ -158,17 +182,28 @@ impl<'a> Simulator<'a> {
         }
 
         // Epoch boundaries: completions of loads already in flight plus the
-        // ones issued for this plan.
-        let mut boundaries = self.machine.controller().pending_ready_times();
+        // ones issued for this plan. The controller *feeds* them into the
+        // timeline's boundary queue (sorted + deduplicated on insertion)
+        // instead of materialising an ordered vector.
+        self.timeline.begin_block();
+        {
+            let timeline = &mut self.timeline;
+            self.machine.controller().feed_pending_ready_times(|t| {
+                timeline.push_boundary(t);
+            });
+        }
         for &u in &plan.load_order {
             if self.is_present(u) {
                 continue; // already resident or streaming
             }
             if let Some(ready_at) = self.issue_load(t0, u, policy, stats) {
-                boundaries.push(ready_at);
+                self.timeline.push_boundary(ready_at);
             }
         }
-        boundaries.sort_unstable();
+
+        // Kernel → selection, resolved once per block (the former
+        // per-kernel linear scan over `plan.selections` is gone).
+        let selections = plan.selection_index();
 
         let mut makespan = Cycles::ZERO;
         let mut busy = Cycles::ZERO;
@@ -176,13 +211,12 @@ impl<'a> Simulator<'a> {
             let (kernel_busy, finish) = self.simulate_kernel(
                 t0 + plan.overhead,
                 activity,
-                plan.selection_for(activity.kernel),
+                selections.get(activity.kernel),
                 policy,
-                &mut boundaries,
                 stats,
             );
             busy += kernel_busy;
-            makespan = makespan.max((finish - t0) + Cycles::ZERO);
+            makespan = makespan.max(finish - t0);
         }
         makespan = makespan.max(plan.overhead);
 
@@ -195,19 +229,26 @@ impl<'a> Simulator<'a> {
         });
 
         policy.observe_block_end(activation.block, &activation.actual);
-        self.now = t0 + makespan;
-        self.machine.settle(self.now);
+        let end = t0 + makespan;
+        self.timeline.emit_with(end, || SimEvent::BlockEnd {
+            at: end,
+            block: activation.block,
+            frame: activation.frame,
+        });
+        self.timeline.advance_to(end);
+        self.machine.settle(end);
     }
 
     /// Simulates one kernel's execution timeline; returns (busy cycles,
-    /// finish time).
+    /// finish time). Residency boundaries live in the [`Timeline`]; the
+    /// kernel walks them with a monotone cursor (amortised O(1) per epoch
+    /// instead of the former O(queue) scan).
     fn simulate_kernel(
         &mut self,
         start_base: Cycles,
         activity: &KernelActivity,
         selected: Option<IseId>,
         policy: &mut dyn RuntimePolicy,
-        boundaries: &mut Vec<Cycles>,
         stats: &mut RunStats,
     ) -> (Cycles, Cycles) {
         let kernel = self
@@ -218,9 +259,14 @@ impl<'a> Simulator<'a> {
         let mut t = start_base + activity.first_delay;
         let mut remaining = activity.executions;
         let mut busy = Cycles::ZERO;
+        let mut cursor = 0usize;
 
         while remaining > 0 {
             self.machine.settle(t);
+            self.timeline.emit_with(t, || SimEvent::EpochBegin {
+                at: t,
+                kernel: activity.kernel,
+            });
             let eplan = {
                 let ctx = ExecContext {
                     now: t,
@@ -231,8 +277,10 @@ impl<'a> Simulator<'a> {
             };
             if eplan.install_mono {
                 if let Some(ready_at) = self.try_install_mono(t, activity.kernel) {
-                    let pos = boundaries.partition_point(|b| *b <= ready_at);
-                    boundaries.insert(pos, ready_at);
+                    // Completion times are strictly in the future, so this
+                    // insertion can only land at or beyond the cursor — the
+                    // monotone hint stays valid.
+                    self.timeline.push_boundary(ready_at);
                 }
             }
             let (class, latency) = self.resolve_execution(activity.kernel, eplan.mode, risc, t);
@@ -241,7 +289,7 @@ impl<'a> Simulator<'a> {
 
             // Executions starting strictly before the next residency change
             // all see the same latency.
-            let next_boundary = boundaries.iter().find(|b| **b > t).copied();
+            let next_boundary = self.timeline.next_boundary_after(t, &mut cursor);
             let n = match next_boundary {
                 Some(b) => {
                     let window = b - t;
@@ -267,11 +315,19 @@ impl<'a> Simulator<'a> {
                         .entry(activity.kernel)
                         .or_default()
                         .record(class, k, latency);
+                    self.timeline.emit_with(t, || SimEvent::ExecBatch {
+                        at: t,
+                        kernel: activity.kernel,
+                        class,
+                        count: k,
+                        latency,
+                    });
                     busy += latency * k;
                     t += period * k;
                 }
                 // ...then execution `k` is corrupted: its accelerated result
                 // is discarded and the kernel re-executes in RISC mode.
+                let detected_at = t;
                 let fault_latency = latency + risc;
                 stats.kernels.entry(activity.kernel).or_default().record(
                     ExecClass::RiscMode,
@@ -283,13 +339,27 @@ impl<'a> Simulator<'a> {
                 busy += fault_latency;
                 t += fault_latency + activity.gap;
                 remaining -= k + 1;
-                policy.notify_fault(&FaultEvent {
-                    now: t,
-                    kind: FaultKind::TransientExec,
-                    fabric: None,
-                    unit: None,
-                    kernel: Some(activity.kernel),
-                });
+                // One fault source feeds both spines: the policy
+                // notification and the event log.
+                self.fault_spine(
+                    policy,
+                    detected_at,
+                    FaultEvent {
+                        now: t,
+                        kind: FaultKind::TransientExec,
+                        fabric: None,
+                        unit: None,
+                        kernel: Some(activity.kernel),
+                    },
+                );
+                let recovered_at = t - activity.gap;
+                self.timeline
+                    .emit_with(recovered_at, || SimEvent::FaultRecovered {
+                        at: recovered_at,
+                        kind: FaultKind::TransientExec,
+                        unit: None,
+                        kernel: Some(activity.kernel),
+                    });
                 continue;
             }
 
@@ -298,6 +368,13 @@ impl<'a> Simulator<'a> {
                 .entry(activity.kernel)
                 .or_default()
                 .record(class, n, latency);
+            self.timeline.emit_with(t, || SimEvent::ExecBatch {
+                at: t,
+                kernel: activity.kernel,
+                class,
+                count: n,
+                latency,
+            });
             busy += latency * n;
             t += period * n;
             remaining -= n;
@@ -305,6 +382,22 @@ impl<'a> Simulator<'a> {
         // The trailing gap after the last execution is not part of the block.
         let finish = t - activity.gap;
         (busy, finish)
+    }
+
+    /// The single fault source: emits the [`SimEvent::FaultDetected`] spine
+    /// entry and delivers the matching [`FaultEvent`] to the policy's
+    /// notify hook — both built from the same data, so the log and the
+    /// policy can never disagree about what happened.
+    fn fault_spine(&mut self, policy: &mut dyn RuntimePolicy, detected_at: Cycles, ev: FaultEvent) {
+        self.timeline
+            .emit_with(detected_at, || SimEvent::FaultDetected {
+                at: detected_at,
+                kind: ev.kind,
+                fabric: ev.fabric,
+                unit: ev.unit,
+                kernel: ev.kernel,
+            });
+        policy.notify_fault(&ev);
     }
 
     /// Whether unit `u` is resident or currently streaming in.
@@ -327,6 +420,7 @@ impl<'a> Simulator<'a> {
         let unit = self.catalog.unit(u);
         let fabric = unit.fabric();
         let mut attempt_at = now;
+        let mut recovered_from = None;
         for attempt in 0..=LOAD_RETRY_BUDGET {
             if attempt > 0 {
                 stats.retried_loads += 1;
@@ -342,29 +436,72 @@ impl<'a> Simulator<'a> {
                 }
             };
             match ticket {
-                Ok(t) => return Some(t.ready_at),
+                Ok(t) => {
+                    let issued_at = attempt_at;
+                    let ready_at = t.ready_at;
+                    self.timeline.emit_with(issued_at, || SimEvent::LoadIssued {
+                        at: issued_at,
+                        unit: u,
+                        fabric,
+                        ready_at,
+                    });
+                    if let Some(kind) = recovered_from {
+                        // A retry finally stuck: the recovery ladder's
+                        // happy ending.
+                        self.timeline
+                            .emit_with(issued_at, || SimEvent::FaultRecovered {
+                                at: issued_at,
+                                kind,
+                                unit: Some(u),
+                                kernel: None,
+                            });
+                    }
+                    self.timeline.emit_with(ready_at, || SimEvent::LoadReady {
+                        at: ready_at,
+                        unit: u,
+                    });
+                    return Some(ready_at);
+                }
                 Err(ArchError::LoadFault(fault)) => {
                     stats.failed_loads += 1;
                     stats.recovery_cycles += fault.wasted;
                     if fault.kind == FaultKind::PermanentContainer {
                         stats.blacklisted_containers += 1;
                     }
-                    policy.notify_fault(&FaultEvent {
-                        now: attempt_at,
-                        kind: fault.kind,
-                        fabric: Some(fault.fabric),
-                        unit: Some(u),
-                        kernel: None,
-                    });
+                    recovered_from = Some(fault.kind);
+                    self.fault_spine(
+                        policy,
+                        attempt_at,
+                        FaultEvent {
+                            now: attempt_at,
+                            kind: fault.kind,
+                            fabric: Some(fault.fabric),
+                            unit: Some(u),
+                            kernel: None,
+                        },
+                    );
                     // The retry queues behind the wasted transfer.
                     attempt_at = attempt_at.max(fault.retry_at);
                 }
                 Err(_) => {
                     stats.rejected_loads += 1;
+                    self.timeline
+                        .emit_with(attempt_at, || SimEvent::LoadRejected {
+                            at: attempt_at,
+                            unit: u,
+                            reason: RejectReason::Resources,
+                        });
                     return None;
                 }
             }
         }
+        // The retry budget ran out; the kernel degrades for this block.
+        self.timeline
+            .emit_with(attempt_at, || SimEvent::LoadRejected {
+                at: attempt_at,
+                unit: u,
+                reason: RejectReason::RetryBudget,
+            });
         None
     }
 
@@ -375,10 +512,22 @@ impl<'a> Simulator<'a> {
         if self.is_present(mono.unit) {
             return None;
         }
-        self.machine
+        let ready_at = self
+            .machine
             .load_mono_cg(now, mono.unit.as_loaded_id(), mono.instrs)
             .ok()
-            .map(|t| t.ready_at)
+            .map(|t| t.ready_at)?;
+        self.timeline.emit_with(now, || SimEvent::LoadIssued {
+            at: now,
+            unit: mono.unit,
+            fabric: FabricKind::CoarseGrained,
+            ready_at,
+        });
+        self.timeline.emit_with(ready_at, || SimEvent::LoadReady {
+            at: ready_at,
+            unit: mono.unit,
+        });
+        Some(ready_at)
     }
 
     /// Resolves an [`ExecMode`] against ground-truth residency at time `t`.

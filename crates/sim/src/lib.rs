@@ -41,12 +41,16 @@ pub mod engine;
 pub mod policy;
 pub mod record;
 pub mod stats;
+pub mod timeline;
 
 pub use engine::{Simulator, LOAD_RETRY_BUDGET};
 pub use policy::{
     BlockPlan, ExecContext, ExecMode, ExecPlan, FaultEvent, RiscOnlyPolicy, RuntimePolicy,
-    SelectionContext,
+    SelectionContext, SelectionIndex,
 };
 pub use stats::{
     jain_index, BlockStats, ExecClass, KernelStats, MultitaskStats, RunStats, TenantStats,
+};
+pub use timeline::{
+    event_to_json, events_to_jsonl, EventSink, RejectReason, SimEvent, Timeline, VecSink,
 };

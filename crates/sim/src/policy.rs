@@ -51,12 +51,50 @@ pub struct BlockPlan {
 
 impl BlockPlan {
     /// The selected ISE for `kernel`, if any.
+    ///
+    /// Linear in the number of selections; the engine's per-block hot path
+    /// uses [`BlockPlan::selection_index`] instead, which resolves each
+    /// lookup by binary search after one O(n log n) build.
     #[must_use]
     pub fn selection_for(&self, kernel: KernelId) -> Option<IseId> {
         self.selections
             .iter()
             .find(|(k, _)| *k == kernel)
             .and_then(|(_, i)| *i)
+    }
+
+    /// Pre-resolves the kernel → selection lookup once per block.
+    ///
+    /// Semantically identical to calling [`BlockPlan::selection_for`] per
+    /// kernel — in particular, if a (malformed) plan lists a kernel twice
+    /// the *first* entry wins, matching the linear scan's behaviour.
+    #[must_use]
+    pub fn selection_index(&self) -> SelectionIndex {
+        let mut sorted = self.selections.clone();
+        // Stable sort + first-occurrence dedup preserves `selection_for`'s
+        // first-match-wins contract for duplicate kernel entries.
+        sorted.sort_by_key(|(k, _)| *k);
+        sorted.dedup_by_key(|(k, _)| *k);
+        SelectionIndex { sorted }
+    }
+}
+
+/// A kernel-sorted index over a [`BlockPlan`]'s selections, built once per
+/// block so the engine's kernel loop does O(log n) lookups instead of the
+/// former O(kernels) scan per kernel per epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectionIndex {
+    sorted: Vec<(KernelId, Option<IseId>)>,
+}
+
+impl SelectionIndex {
+    /// The selected ISE for `kernel`, if any.
+    #[must_use]
+    pub fn get(&self, kernel: KernelId) -> Option<IseId> {
+        self.sorted
+            .binary_search_by_key(&kernel, |(k, _)| *k)
+            .ok()
+            .and_then(|i| self.sorted[i].1)
     }
 }
 

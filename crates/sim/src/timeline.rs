@@ -1,0 +1,635 @@
+//! The event **Timeline**: one clock, one boundary queue, one event spine.
+//!
+//! Before this module existed the reproduction smeared its notion of time
+//! across three layers: the engine kept a hand-sorted `Vec<Cycles>` of
+//! residency boundaries and scanned it linearly per epoch, the multi-tenant
+//! runner re-implemented global-clock interleaving with its own
+//! advance/settle choreography, and the architecture layer leaked raw
+//! `pending_ready_times()` vectors. The paper's whole argument is temporal —
+//! forecast-error adaptation, reconfiguration latencies and intermediate-ISE
+//! upgrade points are all *events* on one clock — so this module makes that
+//! clock first-class:
+//!
+//! * [`Timeline`] — a monotone clock plus a deduplicated, min-ordered
+//!   *residency-boundary queue* with a cursor. The engine fast-forwards
+//!   between boundaries (completions of in-flight reconfigurations) because
+//!   within one *residency epoch* the fabric state — and therefore every
+//!   per-execution latency — cannot change.
+//! * [`SimEvent`] — the typed event spine: block and epoch structure, load
+//!   life cycle, execution batches, fault detection/recovery, and the
+//!   multi-tenant dispatch/repartition events.
+//! * [`EventSink`] — a zero-cost observer: the default detached state makes
+//!   every emission a single branch on [`Timeline::recording`], and events
+//!   are built lazily ([`Timeline::emit_with`] takes a closure), so runs
+//!   without a sink pay nothing. [`VecSink`] collects in memory (cloneable,
+//!   so several per-tenant simulators can share one buffer) and
+//!   [`events_to_jsonl`] renders the deterministic, replayable JSONL format
+//!   that `mrts-cli simulate/multitask --events-out` writes.
+//!
+//! ## Determinism and ordering guarantees
+//!
+//! The simulation is single-threaded integer arithmetic over seeded models,
+//! so the emitted event sequence is a pure function of the inputs: equal
+//! runs give byte-equal JSONL on every host and at every `--threads` count.
+//! Emission is *clock-ordered*, not call-ordered: kernels of one block run
+//! on parallel timelines, so the engine hands every event to a pending
+//! min-queue keyed `(timestamp, sequence)` and the queue drains as the
+//! clock passes each timestamp (events that outlive the run — e.g. a
+//! millisecond-scale fine-grained load completing after the last block —
+//! drain at [`Timeline::finish`]). Within one timeline the flushed stream
+//! is therefore monotone in time; a multi-tenant log is monotone *per
+//! tenant* (tenant timelines interleave on the global clock).
+
+use crate::stats::ExecClass;
+use mrts_arch::{Cycles, FabricKind, FaultKind};
+use mrts_ise::{BlockId, KernelId, UnitId};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Why a load request could not be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// No suitable free container / context slot on the target fabric.
+    Resources,
+    /// Every attempt faulted and the retry budget ran out
+    /// (see [`crate::engine::LOAD_RETRY_BUDGET`]).
+    RetryBudget,
+}
+
+/// One event on the simulation timeline.
+///
+/// Every variant carries its timestamp `at` (core cycles); the spine is
+/// ordered by `(at, emission sequence)` within one timeline. Serialisation
+/// uses the externally-tagged serde encoding, giving JSONL lines such as
+/// `{"tenant":0,"event":{"ExecBatch":{"at":9000,"kernel":1,...}}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A functional-block activation began (its trigger instruction fired).
+    BlockStart {
+        /// Timestamp (core cycles).
+        at: Cycles,
+        /// The functional block.
+        block: BlockId,
+        /// The trace frame (video frame / iteration) of the activation.
+        frame: u32,
+    },
+    /// A reconfiguration request was accepted by the controller.
+    LoadIssued {
+        /// When the request entered the port queue.
+        at: Cycles,
+        /// The unit being streamed.
+        unit: UnitId,
+        /// The target fabric.
+        fabric: FabricKind,
+        /// When the transfer will complete (the residency boundary).
+        ready_at: Cycles,
+    },
+    /// A previously issued transfer completed; the unit became usable.
+    LoadReady {
+        /// Completion time (equals the `ready_at` its `LoadIssued` promised).
+        at: Cycles,
+        /// The unit that became resident.
+        unit: UnitId,
+    },
+    /// A load request could not be placed; the kernel degrades to its best
+    /// still-available implementation for this block.
+    LoadRejected {
+        /// When the request was abandoned.
+        at: Cycles,
+        /// The unit that was not loaded.
+        unit: UnitId,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// A residency epoch began for one kernel: the fabric state it sees is
+    /// constant until the next boundary, so the policy is consulted once.
+    EpochBegin {
+        /// Epoch start time.
+        at: Cycles,
+        /// The kernel whose executions the epoch covers.
+        kernel: KernelId,
+    },
+    /// A batch of `count` back-to-back executions at constant latency
+    /// (the bulk fast-forward within one residency epoch).
+    ExecBatch {
+        /// Start of the first execution in the batch.
+        at: Cycles,
+        /// The executing kernel.
+        kernel: KernelId,
+        /// The implementation class every execution in the batch used.
+        class: ExecClass,
+        /// Number of executions in the batch.
+        count: u64,
+        /// Per-execution latency (cycles).
+        latency: Cycles,
+    },
+    /// An injected fault was detected (failed load CRC, lost container, or
+    /// corrupted accelerated execution). Mirrors the
+    /// [`FaultEvent`](crate::policy::FaultEvent) handed to
+    /// [`RuntimePolicy::notify_fault`](crate::policy::RuntimePolicy::notify_fault) —
+    /// both are built from the same source in the engine.
+    FaultDetected {
+        /// Detection time.
+        at: Cycles,
+        /// Fault class.
+        kind: FaultKind,
+        /// The fabric involved (load faults).
+        fabric: Option<FabricKind>,
+        /// The unit whose load failed (load faults).
+        unit: Option<UnitId>,
+        /// The kernel whose execution was corrupted (transient exec faults).
+        kernel: Option<KernelId>,
+    },
+    /// The recovery ladder absorbed a fault: a faulted load eventually
+    /// streamed in, or a corrupted execution was re-run in RISC mode.
+    FaultRecovered {
+        /// When recovery completed.
+        at: Cycles,
+        /// The fault class that was recovered from.
+        kind: FaultKind,
+        /// The unit whose retry succeeded (load faults).
+        unit: Option<UnitId>,
+        /// The kernel re-executed in RISC mode (transient exec faults).
+        kernel: Option<KernelId>,
+    },
+    /// The multi-tenant scheduler gave the core to a tenant.
+    TenantDispatch {
+        /// Global-clock dispatch time.
+        at: Cycles,
+        /// The dispatched tenant.
+        tenant: u32,
+    },
+    /// The multi-tenant scheduler took the core away from a tenant
+    /// (its in-flight reconfigurations keep streaming meanwhile).
+    TenantPreempt {
+        /// Global-clock preemption time.
+        at: Cycles,
+        /// The preempted tenant.
+        tenant: u32,
+    },
+    /// The fabric arbiter re-partitioned and grew this tenant's slice.
+    RepartitionGranted {
+        /// Global-clock grant time (after the repartition cost).
+        at: Cycles,
+        /// The beneficiary tenant.
+        tenant: u32,
+        /// Granted CG-EDPE slots.
+        cg: u16,
+        /// Granted PRC containers.
+        prc: u16,
+    },
+    /// A functional-block activation completed.
+    BlockEnd {
+        /// Completion time (block start + makespan).
+        at: Cycles,
+        /// The functional block.
+        block: BlockId,
+        /// The trace frame of the activation.
+        frame: u32,
+    },
+}
+
+impl SimEvent {
+    /// The event's timestamp (core cycles).
+    #[must_use]
+    pub fn at(&self) -> Cycles {
+        match self {
+            SimEvent::BlockStart { at, .. }
+            | SimEvent::LoadIssued { at, .. }
+            | SimEvent::LoadReady { at, .. }
+            | SimEvent::LoadRejected { at, .. }
+            | SimEvent::EpochBegin { at, .. }
+            | SimEvent::ExecBatch { at, .. }
+            | SimEvent::FaultDetected { at, .. }
+            | SimEvent::FaultRecovered { at, .. }
+            | SimEvent::TenantDispatch { at, .. }
+            | SimEvent::TenantPreempt { at, .. }
+            | SimEvent::RepartitionGranted { at, .. }
+            | SimEvent::BlockEnd { at, .. } => *at,
+        }
+    }
+}
+
+/// A consumer of the event spine.
+///
+/// The contract is deliberately tiny: sinks receive `(tenant, event)` pairs
+/// already in per-timeline clock order and must not influence the
+/// simulation (the engine guards every emission behind
+/// [`Timeline::recording`], so a run without a sink takes one untaken
+/// branch per would-be event and allocates nothing).
+pub trait EventSink {
+    /// Consumes one event. `tenant` is the emitting timeline's tag
+    /// (always 0 for single-application runs).
+    fn emit(&mut self, tenant: u32, event: SimEvent);
+}
+
+impl fmt::Debug for dyn EventSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("dyn EventSink")
+    }
+}
+
+/// An in-memory sink. Cloning shares the underlying buffer (the runner
+/// hands tagged clones of one `VecSink` to every per-tenant simulator and
+/// drains the merged log once at the end); the simulation is
+/// single-threaded, so plain `Rc<RefCell<…>>` sharing suffices.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    buf: Rc<RefCell<Vec<(u32, SimEvent)>>>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Number of events collected so far (across all clones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// Whether no event has been collected yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+
+    /// Takes the collected `(tenant, event)` pairs, leaving the shared
+    /// buffer empty.
+    #[must_use]
+    pub fn take(&self) -> Vec<(u32, SimEvent)> {
+        std::mem::take(&mut *self.buf.borrow_mut())
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&mut self, tenant: u32, event: SimEvent) {
+        self.buf.borrow_mut().push((tenant, event));
+    }
+}
+
+/// Renders one `(tenant, event)` pair as a JSONL line (no trailing newline).
+///
+/// # Errors
+///
+/// Propagates serde encoding failures (which the derived [`SimEvent`]
+/// serialiser never produces).
+pub fn event_to_json(tenant: u32, event: &SimEvent) -> Result<String, serde_json::Error> {
+    Ok(format!(
+        "{{\"tenant\":{tenant},\"event\":{}}}",
+        serde_json::to_string(event)?
+    ))
+}
+
+/// Renders a collected event log as JSONL: one `{"tenant":…,"event":…}`
+/// object per line, in emission order — the deterministic, replayable
+/// format behind `mrts-cli … --events-out`.
+///
+/// # Errors
+///
+/// Propagates serde encoding failures (never produced by [`SimEvent`]).
+pub fn events_to_jsonl(events: &[(u32, SimEvent)]) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for (tenant, event) in events {
+        out.push_str(&event_to_json(*tenant, event)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// The first-class clock of the simulation: monotone time, the per-block
+/// residency-boundary queue, and the (optional) event spine.
+///
+/// One `Timeline` backs one logical execution context — the single
+/// application of [`Simulator`](crate::engine::Simulator), each tenant of
+/// the multi-tenant runner, and the runner's global clock itself all step
+/// the same core instead of keeping bespoke `Vec<Cycles>`/`now` pairs.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    now: Cycles,
+    /// Residency boundaries of the current block: sorted ascending and
+    /// deduplicated. Rebuilt per block ([`Timeline::begin_block`]) so the
+    /// fault-injection RNG observes exactly the pre-refactor batch
+    /// structure.
+    boundaries: Vec<Cycles>,
+    /// Deferred events, min-ordered by `(at, seq)`; drained as the clock
+    /// passes each timestamp.
+    pending: Vec<(Cycles, u64, SimEvent)>,
+    seq: u64,
+    tenant: u32,
+    sink: Option<Box<dyn EventSink>>,
+}
+
+impl Timeline {
+    /// A fresh timeline at cycle zero with no sink attached.
+    #[must_use]
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Current time.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Attaches an event sink; subsequent emissions are recorded under the
+    /// `tenant` tag. Replaces any previously attached sink.
+    pub fn attach_sink(&mut self, tenant: u32, sink: Box<dyn EventSink>) {
+        self.tenant = tenant;
+        self.sink = Some(sink);
+    }
+
+    /// Whether a sink is attached — the single branch that makes the event
+    /// spine zero-cost when nobody listens.
+    #[must_use]
+    pub fn recording(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records an event, constructing it lazily only if a sink is attached.
+    /// The event is queued and flushed once the clock passes `at`, so the
+    /// delivered stream is monotone even though kernels of one block are
+    /// simulated on parallel timelines.
+    pub fn emit_with(&mut self, at: Cycles, build: impl FnOnce() -> SimEvent) {
+        if self.sink.is_none() {
+            return;
+        }
+        let ev = build();
+        debug_assert_eq!(ev.at(), at, "event timestamp must match emission time");
+        // Stable position: after every queued event with the same `at`
+        // (sequence numbers are strictly increasing).
+        let pos = self.pending.partition_point(|(a, _, _)| *a <= at);
+        self.pending.insert(pos, (at, self.seq, ev));
+        self.seq += 1;
+    }
+
+    /// Advances the clock monotonically to `t` (no-op if `t` is in the
+    /// past) and flushes every queued event with a timestamp `≤ t`.
+    pub fn advance_to(&mut self, t: Cycles) {
+        if t > self.now {
+            self.now = t;
+        }
+        self.flush_through(self.now);
+    }
+
+    /// Advances the clock by `d` (a context-switch or repartition cost on
+    /// the multi-tenant global clock) and flushes like
+    /// [`Timeline::advance_to`].
+    pub fn advance_by(&mut self, d: Cycles) {
+        let t = self.now + d;
+        self.advance_to(t);
+    }
+
+    /// Flushes every queued event while leaving the clock untouched.
+    fn flush_through(&mut self, t: Cycles) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let k = self.pending.partition_point(|(a, _, _)| *a <= t);
+        if k == 0 {
+            return;
+        }
+        let sink = self.sink.as_mut().expect("pending events imply a sink");
+        for (_, _, ev) in self.pending.drain(..k) {
+            sink.emit(self.tenant, ev);
+        }
+    }
+
+    /// Drains every still-queued event (reconfigurations can outlive the
+    /// trace; their `LoadReady` timestamps lie beyond the final clock).
+    /// Call once, at the end of a run.
+    pub fn finish(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        for (_, _, ev) in self.pending.drain(..) {
+            sink.emit(self.tenant, ev);
+        }
+    }
+
+    // ----------------------------------------------------- boundary queue
+
+    /// Starts a new block: clears the residency-boundary queue. The caller
+    /// then feeds the boundaries visible to this block
+    /// ([`Timeline::push_boundary`]) — completions of loads already in
+    /// flight plus the ones issued for the block's plan.
+    pub fn begin_block(&mut self) {
+        self.boundaries.clear();
+    }
+
+    /// Inserts a residency boundary, keeping the queue sorted and
+    /// deduplicated. Returns `false` if the timestamp was already queued
+    /// (duplicates cannot change the epoch structure — the epoch scan is a
+    /// strict `> t` search — so they are dropped at the door instead of
+    /// re-planning a no-op epoch).
+    pub fn push_boundary(&mut self, t: Cycles) -> bool {
+        match self.boundaries.binary_search(&t) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.boundaries.insert(pos, t);
+                true
+            }
+        }
+    }
+
+    /// The earliest boundary strictly after `t`, using `cursor` as a
+    /// monotone scan hint (per-kernel: each kernel walks its epochs in
+    /// increasing time, so the cursor only ever moves right; boundary
+    /// insertions during the walk — monoCG installs — land at positions at
+    /// or beyond the cursor because their completion times exceed `t`).
+    /// Replaces the pre-refactor O(queue) linear scan per epoch.
+    #[must_use]
+    pub fn next_boundary_after(&self, t: Cycles, cursor: &mut usize) -> Option<Cycles> {
+        let mut i = (*cursor).min(self.boundaries.len());
+        // In the common case the hint is already correct or one step away;
+        // a straggling hint catches up via the same forward walk the
+        // monotone cursor argument guarantees is amortised O(1).
+        while i < self.boundaries.len() && self.boundaries[i] <= t {
+            i += 1;
+        }
+        debug_assert_eq!(
+            i,
+            self.boundaries.partition_point(|b| *b <= t).max(*cursor),
+            "cursor hint fell behind a boundary insertion"
+        );
+        *cursor = i;
+        self.boundaries.get(i).copied()
+    }
+
+    /// Number of distinct boundaries currently queued (diagnostics/tests).
+    #[must_use]
+    pub fn boundary_count(&self) -> usize {
+        self.boundaries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    #[test]
+    fn boundary_queue_sorts_and_dedups() {
+        let mut tl = Timeline::new();
+        tl.begin_block();
+        assert!(tl.push_boundary(c(50)));
+        assert!(tl.push_boundary(c(10)));
+        assert!(!tl.push_boundary(c(50)), "duplicate must be dropped");
+        assert!(tl.push_boundary(c(30)));
+        assert_eq!(tl.boundary_count(), 3);
+        let mut cur = 0;
+        assert_eq!(tl.next_boundary_after(c(0), &mut cur), Some(c(10)));
+        assert_eq!(tl.next_boundary_after(c(10), &mut cur), Some(c(30)));
+        assert_eq!(tl.next_boundary_after(c(40), &mut cur), Some(c(50)));
+        assert_eq!(tl.next_boundary_after(c(50), &mut cur), None);
+    }
+
+    #[test]
+    fn cursor_survives_in_flight_inserts() {
+        let mut tl = Timeline::new();
+        tl.begin_block();
+        tl.push_boundary(c(10));
+        tl.push_boundary(c(100));
+        let mut cur = 0;
+        assert_eq!(tl.next_boundary_after(c(20), &mut cur), Some(c(100)));
+        // A monoCG install completing at 60 (> current scan time) lands at
+        // or beyond the cursor; the next query from t=30 must still see it.
+        tl.push_boundary(c(60));
+        assert_eq!(tl.next_boundary_after(c(30), &mut cur), Some(c(60)));
+        assert_eq!(tl.next_boundary_after(c(60), &mut cur), Some(c(100)));
+    }
+
+    #[test]
+    fn begin_block_resets_the_queue() {
+        let mut tl = Timeline::new();
+        tl.begin_block();
+        tl.push_boundary(c(10));
+        tl.begin_block();
+        assert_eq!(tl.boundary_count(), 0);
+        let mut cur = 0;
+        assert_eq!(tl.next_boundary_after(c(0), &mut cur), None);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut tl = Timeline::new();
+        tl.advance_to(c(100));
+        tl.advance_to(c(40)); // into the past: ignored
+        assert_eq!(tl.now(), c(100));
+        tl.advance_to(c(150));
+        assert_eq!(tl.now(), c(150));
+    }
+
+    #[test]
+    fn emissions_without_a_sink_cost_nothing() {
+        let mut tl = Timeline::new();
+        assert!(!tl.recording());
+        tl.emit_with(c(5), || panic!("must not be built without a sink"));
+        tl.advance_to(c(10));
+        tl.finish();
+    }
+
+    #[test]
+    fn events_flush_in_clock_order_not_call_order() {
+        let mut tl = Timeline::new();
+        let sink = VecSink::new();
+        tl.attach_sink(0, Box::new(sink.clone()));
+        // Emitted out of order (parallel kernel timelines do this).
+        tl.emit_with(c(500), || SimEvent::EpochBegin {
+            at: c(500),
+            kernel: KernelId(1),
+        });
+        tl.emit_with(c(100), || SimEvent::EpochBegin {
+            at: c(100),
+            kernel: KernelId(0),
+        });
+        tl.emit_with(c(900), || SimEvent::LoadReady {
+            at: c(900),
+            unit: UnitId(7),
+        });
+        tl.advance_to(c(600));
+        let drained = sink.take();
+        assert_eq!(drained.len(), 2, "the 900-cycle event stays queued");
+        assert_eq!(drained[0].1.at(), c(100));
+        assert_eq!(drained[1].1.at(), c(500));
+        tl.finish();
+        let rest = sink.take();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].1.at(), c(900));
+    }
+
+    #[test]
+    fn equal_timestamps_keep_emission_order() {
+        let mut tl = Timeline::new();
+        let sink = VecSink::new();
+        tl.attach_sink(3, Box::new(sink.clone()));
+        tl.emit_with(c(10), || SimEvent::EpochBegin {
+            at: c(10),
+            kernel: KernelId(0),
+        });
+        tl.emit_with(c(10), || SimEvent::EpochBegin {
+            at: c(10),
+            kernel: KernelId(1),
+        });
+        tl.finish();
+        let drained = sink.take();
+        assert_eq!(drained[0].0, 3, "tenant tag is carried through");
+        assert!(
+            matches!(
+                drained[0].1,
+                SimEvent::EpochBegin {
+                    kernel: KernelId(0),
+                    ..
+                }
+            ) && matches!(
+                drained[1].1,
+                SimEvent::EpochBegin {
+                    kernel: KernelId(1),
+                    ..
+                }
+            ),
+            "ties break by emission sequence"
+        );
+    }
+
+    #[test]
+    fn jsonl_encoding_is_externally_tagged() {
+        let line = event_to_json(
+            0,
+            &SimEvent::BlockStart {
+                at: c(0),
+                block: BlockId(2),
+                frame: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            line,
+            r#"{"tenant":0,"event":{"BlockStart":{"at":0,"block":2,"frame":1}}}"#
+        );
+        let log = events_to_jsonl(&[(
+            0,
+            SimEvent::LoadReady {
+                at: c(42),
+                unit: UnitId(3),
+            },
+        )])
+        .unwrap();
+        assert_eq!(
+            log,
+            "{\"tenant\":0,\"event\":{\"LoadReady\":{\"at\":42,\"unit\":3}}}\n"
+        );
+    }
+}
