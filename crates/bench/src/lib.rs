@@ -13,6 +13,7 @@
 //! | `ablation_design_choices` | extra — monoCG / MPU / copies ablations |
 //! | `fault_sweep` | extra — speedup retention under injected hardware faults |
 //! | `fig_multitask` | extra — multi-tenant sharing: aggregate speedup + fairness vs tenant count |
+//! | `fig_overload` | extra — SLO ladder: deadline misses + tardiness past saturation, ladder on/off |
 //! | `bench_suite` | extra — perf-regression tracking (`BENCH_perf.json`) |
 //!
 //! This library holds the pieces the binaries share: the fabric-combination

@@ -5,11 +5,12 @@ use mrts_arch::{ArchParams, Cycles, FabricKind, FaultModel, Machine, Resources};
 use mrts_baselines::{make_policy, ProfiledTotals};
 use mrts_ise::{Ise, IseCatalog};
 use mrts_multitask::{
-    run_multitask, run_multitask_with_events, ArbiterPolicy, MultitaskConfig, SchedulerKind,
-    TenantSpec,
+    run_multitask, run_multitask_with_events, AdmissionPolicy, ArbiterPolicy, MultitaskConfig,
+    SchedulerKind, Slo, TenantSpec,
 };
 use mrts_sim::{
-    events_to_jsonl, ExecClass, RiscOnlyPolicy, RunStats, RuntimePolicy, Simulator, VecSink,
+    events_to_jsonl, ExecClass, MultitaskStats, RecoveryConfig, RiscOnlyPolicy, RunStats,
+    RuntimePolicy, Simulator, VecSink,
 };
 use mrts_workload::apps::{CipherApp, FftApp};
 use mrts_workload::h264::H264Encoder;
@@ -111,6 +112,7 @@ pub fn catalog(args: &Args) -> CliResult {
 /// `simulate` path and for the `--threads` determinism check, which
 /// replays the identical configuration on several OS threads and
 /// insists on byte-identical outputs.
+#[allow(clippy::too_many_arguments)]
 fn simulate_once(
     catalog: &IseCatalog,
     trace: &Trace,
@@ -118,12 +120,13 @@ fn simulate_once(
     combo: Resources,
     fault: FaultModel,
     policy_name: &str,
+    recovery: RecoveryConfig,
     record: bool,
 ) -> Result<(RunStats, Option<String>), Box<dyn std::error::Error>> {
     let machine = Machine::with_fault_model(ArchParams::default(), combo, fault)?;
     let capacity = machine.capacity();
     let mut p = policy(policy_name, catalog, capacity, totals)?;
-    let mut sim = Simulator::new(catalog, machine);
+    let mut sim = Simulator::new(catalog, machine).with_recovery(recovery);
     let sink = if record {
         let sink = VecSink::new();
         sim.attach_events(0, Box::new(sink.clone()));
@@ -150,6 +153,7 @@ pub fn simulate(args: &Args) -> CliResult {
         "policy",
         "fault-rate",
         "fault-seed",
+        "retry-budget",
         "events-out",
         "threads",
     ])?;
@@ -160,6 +164,10 @@ pub fn simulate(args: &Args) -> CliResult {
         return Err(format!("--fault-rate {fault_rate} must be within [0, 1]").into());
     }
     let fault_seed: u64 = args.get_num("fault-seed", 1)?;
+    let recovery = RecoveryConfig {
+        retry_budget: args.get_num("retry-budget", mrts_sim::LOAD_RETRY_BUDGET)?,
+        ..RecoveryConfig::default()
+    };
     let policy_name = args.get_or("policy", "mrts");
     let events_out = args.get("events-out");
     let threads: usize = args.get_num("threads", 1)?;
@@ -183,6 +191,7 @@ pub fn simulate(args: &Args) -> CliResult {
                             combo,
                             FaultModel::new(fault_rate, fault_seed),
                             policy_name,
+                            recovery,
                             record,
                         )
                         .map_err(|e| e.to_string())
@@ -215,6 +224,7 @@ pub fn simulate(args: &Args) -> CliResult {
             combo,
             FaultModel::new(fault_rate, fault_seed),
             policy_name,
+            recovery,
             record,
         )?
     };
@@ -331,15 +341,19 @@ pub fn multitask(args: &Args) -> CliResult {
     args.expect_only(&[
         "apps",
         "weights",
+        "slo",
         "seed",
         "cg",
         "prc",
         "policy",
         "arbiter",
         "sched",
+        "admission",
+        "degrade",
         "fault-rate",
         "fault-seed",
         "events-out",
+        "threads",
     ])?;
     let names: Vec<&str> = args.get_or("apps", "h264,fft").split(',').collect();
     let weights: Vec<u64> = match args.get("weights") {
@@ -360,12 +374,42 @@ pub fn multitask(args: &Args) -> CliResult {
         )
         .into());
     }
+    // One optional SLO per app, parsed as `crit[:period[:session]]`
+    // ("hard:40000000", "soft:0:900000000", …); "-" or "none" leaves the
+    // tenant SLO-free.
+    let slos: Vec<Option<Slo>> = match args.get("slo") {
+        None => vec![None; names.len()],
+        Some(list) => list
+            .split(',')
+            .map(|t| match t {
+                "" | "-" | "none" => Ok(None),
+                t => t
+                    .parse::<Slo>()
+                    .map(Some)
+                    .map_err(|e| format!("--slo: {e}")),
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if slos.len() != names.len() {
+        return Err(format!("--slo lists {} values for {} apps", slos.len(), names.len()).into());
+    }
     let seed: u64 = args.get_num("seed", 1)?;
     let fault_rate: f64 = args.get_num("fault-rate", 0.0)?;
     if !(0.0..=1.0).contains(&fault_rate) {
         return Err(format!("--fault-rate {fault_rate} must be within [0, 1]").into());
     }
     let fault_seed: u64 = args.get_num("fault-seed", 1)?;
+    let degrade = match args.get_or("degrade", "on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --degrade '{other}' (on|off)").into()),
+    };
+    let threads: usize = args.get_num("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let events_out = args.get("events-out");
+    let record = events_out.is_some() || threads > 1;
 
     // Tenant workloads are built first so the specs can borrow them.
     let mut built: Vec<(String, IseCatalog, Trace)> = Vec::new();
@@ -379,51 +423,108 @@ pub fn multitask(args: &Args) -> CliResult {
             .build();
         built.push((app.application().name().to_owned(), catalog, trace));
     }
-    let specs: Vec<TenantSpec<'_>> = built
-        .iter()
-        .zip(&weights)
-        .enumerate()
-        .map(|(i, ((name, catalog, trace), &w))| {
-            let mut spec = TenantSpec::new(name.clone(), catalog, trace).with_weight(w);
-            if fault_rate > 0.0 {
-                spec = spec.with_fault_model(FaultModel::new(
-                    fault_rate,
-                    fault_seed.wrapping_add(i as u64),
-                ));
-            }
-            spec
-        })
-        .collect();
 
     let cfg = MultitaskConfig {
         policy: args.get_or("policy", "mrts").to_owned(),
         arbiter: args.get_or("arbiter", "dynamic").parse::<ArbiterPolicy>()?,
         scheduler: args.get_or("sched", "wfq").parse::<SchedulerKind>()?,
+        admission: args.get_or("admission", "off").parse::<AdmissionPolicy>()?,
+        degrade,
         ..MultitaskConfig::default()
     };
     let budget = Resources::new(args.get_num("cg", 2)?, args.get_num("prc", 2)?);
-    let stats = match args.get("events-out") {
-        Some(path) => {
+
+    // One full multi-tenant pass; rebuilt per replay thread so each run is
+    // completely independent state.
+    let run_once = |record: bool| -> Result<(MultitaskStats, Option<String>), String> {
+        let specs: Vec<TenantSpec<'_>> = built
+            .iter()
+            .zip(&weights)
+            .zip(&slos)
+            .enumerate()
+            .map(|(i, (((name, catalog, trace), &w), &slo))| {
+                let mut spec = TenantSpec::new(name.clone(), catalog, trace).with_weight(w);
+                if fault_rate > 0.0 {
+                    spec = spec.with_fault_model(FaultModel::new(
+                        fault_rate,
+                        fault_seed.wrapping_add(i as u64),
+                    ));
+                }
+                if let Some(slo) = slo {
+                    spec = spec.with_slo(slo);
+                }
+                spec
+            })
+            .collect();
+        if record {
             let mut sink = VecSink::new();
             let stats =
-                run_multitask_with_events(ArchParams::default(), budget, &specs, &cfg, &mut sink)?;
-            let log = events_to_jsonl(&sink.take())?;
-            std::fs::write(path, &log)?;
-            println!(
-                "events: wrote {} events ({} bytes) to {path}",
-                log.lines().count(),
-                log.len()
-            );
-            stats
+                run_multitask_with_events(ArchParams::default(), budget, &specs, &cfg, &mut sink)
+                    .map_err(|e| e.to_string())?;
+            let log = events_to_jsonl(&sink.take()).map_err(|e| e.to_string())?;
+            Ok((stats, Some(log)))
+        } else {
+            run_multitask(ArchParams::default(), budget, &specs, &cfg)
+                .map(|stats| (stats, None))
+                .map_err(|e| e.to_string())
         }
-        None => run_multitask(ArchParams::default(), budget, &specs, &cfg)?,
     };
+
+    let (stats, jsonl) = if threads > 1 {
+        // Same executable determinism proof as `simulate --threads`:
+        // byte-identical stats and event logs from every replica.
+        let runs: Vec<(MultitaskStats, Option<String>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| run_once(record)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("multitask thread panicked"))
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+        let first_stats = serde_json::to_string(&runs[0].0)?;
+        for (i, (stats, jsonl)) in runs.iter().enumerate().skip(1) {
+            if serde_json::to_string(stats)? != first_stats || *jsonl != runs[0].1 {
+                return Err(
+                    format!("determinism violation: thread {i} diverged from thread 0").into(),
+                );
+            }
+        }
+        println!("determinism: {threads} threads, byte-identical stats and event logs");
+        let mut runs = runs;
+        runs.swap_remove(0)
+    } else {
+        run_once(record).map_err(|e| -> Box<dyn std::error::Error> { e.into() })?
+    };
+    if let (Some(path), Some(log)) = (events_out, &jsonl) {
+        std::fs::write(path, log)?;
+        println!(
+            "events: wrote {} events ({} bytes) to {path}",
+            log.lines().count(),
+            log.len()
+        );
+    }
     print!("{stats}");
     println!(
         "aggregate speedup {:.3}x vs back-to-back RISC, throughput {:.1} execs/Mcycle",
         stats.aggregate_speedup(),
         stats.throughput()
     );
+    if stats.slo_deadlines() > 0 {
+        println!(
+            "slo: {}/{} deadlines missed ({:.1}%), tardiness p50/p95/p99 \
+             {:.3}/{:.3}/{:.3} Mcycles, ladder {}v/{}^",
+            stats.deadline_misses(),
+            stats.slo_deadlines(),
+            100.0 * stats.miss_rate(),
+            stats.tardiness_percentile(50, 100) as f64 / 1e6,
+            stats.tardiness_percentile(95, 100) as f64 / 1e6,
+            stats.tardiness_percentile(99, 100) as f64 / 1e6,
+            stats.degrade_steps(),
+            stats.promote_steps(),
+        );
+    }
     Ok(())
 }
 

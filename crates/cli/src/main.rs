@@ -3,11 +3,13 @@
 //! ```text
 //! mrts-cli catalog  [--app h264|fft|cipher|toy]
 //! mrts-cli simulate [--app ..] [--cg N] [--prc N] [--policy ..] [--seed N]
-//!                   [--fault-rate P] [--fault-seed N]
+//!                   [--fault-rate P] [--fault-seed N] [--retry-budget N]
 //!                   [--events-out FILE] [--threads N]
 //! mrts-cli sweep    [--app ..] [--policy ..] [--seed N] [--format table|csv]
-//! mrts-cli multitask [--apps a,b,..] [--weights w,w,..] [--cg N] [--prc N]
-//!                   [--policy ..] [--arbiter ..] [--sched ..] [--events-out FILE]
+//! mrts-cli multitask [--apps a,b,..] [--weights w,w,..] [--slo s,s,..]
+//!                   [--cg N] [--prc N] [--policy ..] [--arbiter ..]
+//!                   [--sched ..] [--admission ..] [--degrade on|off]
+//!                   [--events-out FILE] [--threads N]
 //! mrts-cli trace    [--app ..] [--seed N] [--out FILE]
 //! mrts-cli pif      [--app ..] [--kernel NAME] [--max-exec N]
 //! ```
@@ -44,16 +46,23 @@ SIMULATE/MULTITASK-ONLY FLAGS:
     --fault-rate  per-load/per-execution fault probability (default 0.0)
     --fault-seed  fault-injection seed (default 1)
     --events-out  write the run's event spine as JSONL to FILE
+    --threads     replay the run on N threads and verify byte-identical
+                  stats and event logs (default 1)
 
 SIMULATE-ONLY FLAGS:
-    --threads  replay the run on N threads and verify byte-identical
-               stats and event logs (default 1)
+    --retry-budget  retries per faulted load on top of the first attempt
+                    (default 3)
 
 MULTITASK-ONLY FLAGS:
-    --apps     comma-separated tenant list (default h264,fft)
-    --weights  comma-separated scheduling weights (default all 1)
-    --arbiter  dynamic (default) | static | prop   fabric partitioning
-    --sched    wfq (default) | rr | prio           core time-sharing
+    --apps      comma-separated tenant list (default h264,fft)
+    --weights   comma-separated scheduling weights (default all 1)
+    --slo       one SLO per app as crit[:period[:session]] cycles, with
+                crit = hard|soft|be; '-' or 'none' skips a tenant
+                (example: --slo hard:40000000,-)
+    --arbiter   dynamic (default) | static | prop   fabric partitioning
+    --sched     wfq (default) | rr | prio | edf | llf   core time-sharing
+    --admission off (default) | reject | queue   SLO feasibility gate
+    --degrade   on (default) | off   laxity-driven degradation ladder
 
 EXAMPLES:
     mrts-cli simulate --app h264 --cg 2 --prc 2 --policy mrts
@@ -61,6 +70,7 @@ EXAMPLES:
     mrts-cli simulate --app fft --events-out events.jsonl --threads 4
     mrts-cli sweep --policy mrts --format csv > sweep.csv
     mrts-cli multitask --apps h264,fft,cipher --weights 2,1,1 --sched wfq
+    mrts-cli multitask --apps h264,fft --slo hard:40000000,- --sched edf --admission queue
     mrts-cli pif --kernel deblock --max-exec 10000
 ";
 

@@ -215,6 +215,22 @@ impl RuntimePolicy for Mrts {
     }
 
     fn plan_block(&mut self, ctx: &SelectionContext<'_>) -> BlockPlan {
+        // No usable fabric budget — a zero slice (the degradation ladder's
+        // floor) or a zero-fabric machine — means this block runs pure
+        // RISC. Selecting against an empty budget cannot choose anything,
+        // so skip the selector entirely: the tenant sheds the decision
+        // overhead along with the speedup.
+        let cap = ctx.machine.capacity();
+        if self.config.slice.unwrap_or(cap).min(cap).is_empty() {
+            self.blocks_planned += 1;
+            return BlockPlan {
+                selections: ctx.forecast.iter().map(|t| (t.kernel, None)).collect(),
+                evict: Vec::new(),
+                load_order: Vec::new(),
+                overhead: Cycles::ZERO,
+            };
+        }
+
         // 1. MPU: correct the compile-time forecast with run-time
         //    observations.
         let forecast = if self.config.use_mpu {
@@ -342,6 +358,13 @@ impl RuntimePolicy for Mrts {
         selected: Option<IseId>,
         ctx: &ExecContext<'_>,
     ) -> ExecPlan {
+        // No usable fabric budget (ladder floor or zero-fabric machine):
+        // even an opportunistic monoCG install would plan past the
+        // tenant's (empty) fabric share.
+        let cap = ctx.machine.capacity();
+        if self.config.slice.unwrap_or(cap).min(cap).is_empty() {
+            return ExecPlan::risc();
+        }
         let Ok(k) = ctx.catalog.kernel(kernel) else {
             return ExecPlan::risc();
         };
@@ -531,6 +554,30 @@ mod tests {
         let h = stats.class_histogram();
         assert_eq!(h.get(&ExecClass::RiscMode).copied().unwrap_or(0), 3_000);
         assert_eq!(h.len(), 1, "{h:?}");
+    }
+
+    #[test]
+    fn zero_slice_fast_path_charges_no_overhead_and_skips_mono() {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .unwrap();
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(1_000)], 3);
+        let cfg = MrtsConfig {
+            slice: Some(Resources::NONE),
+            // monoCG stays enabled: the zero-slice floor must suppress it
+            // on its own, without the ablation flag's help.
+            ..MrtsConfig::default()
+        };
+        let mut mrts = Mrts::with_config(cfg);
+        let stats = Simulator::run(&catalog, machine(2, 2), &trace, &mut mrts);
+        let h = stats.class_histogram();
+        assert_eq!(h.get(&ExecClass::RiscMode).copied().unwrap_or(0), 3_000);
+        assert_eq!(h.len(), 1, "{h:?}");
+        // The selector never ran: zero decision overhead on the timeline.
+        assert_eq!(stats.total_overhead(), Cycles::ZERO);
+        assert_eq!(mrts.avg_selection_cycles_per_kernel(), 0.0);
     }
 
     #[test]

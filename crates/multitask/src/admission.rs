@@ -1,0 +1,293 @@
+//! Admission control: feasibility of an SLO mix against slice capacity.
+//!
+//! The schedulability test is the classic utilization bound, integerised:
+//! each tenant with a deadline contributes `estimated service per block ×
+//! 1_000_000 / period` parts-per-million of the core, and the mix is
+//! feasible while the sum stays ≤ [`FULL_UTILIZATION_PPM`]. The estimate
+//! is *optimistic* — it prices each block at the best ISE latency that
+//! fits the tenant's fabric slice — so admission is deliberately
+//! permissive: it refuses only sessions that cannot meet their deadlines
+//! even under ideal acceleration, and leaves marginal mixes to the
+//! degradation ladder.
+//!
+//! Tenants without deadlines cost 0 ppm and are always admitted; they run
+//! in the slack and are the ladder's first-choice victims.
+
+use crate::slo::Criticality;
+use std::cmp::Reverse;
+use std::fmt;
+use std::str::FromStr;
+
+/// What to do with a session that fails the feasibility test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// No admission control: everything runs (the pre-SLO behaviour).
+    #[default]
+    Off,
+    /// Infeasible sessions are rejected outright and never run.
+    Reject,
+    /// Infeasible sessions wait; they are re-tested whenever an admitted
+    /// session finishes and its utilization frees up.
+    Queue,
+}
+
+impl AdmissionPolicy {
+    /// CLI/stats label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Off => "off",
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::Queue => "queue",
+        }
+    }
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for AdmissionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(AdmissionPolicy::Off),
+            "reject" => Ok(AdmissionPolicy::Reject),
+            "queue" => Ok(AdmissionPolicy::Queue),
+            other => Err(format!(
+                "unknown admission policy '{other}' (off|reject|queue)"
+            )),
+        }
+    }
+}
+
+/// Verdict for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    /// Runs from the start (or from the moment the verdict flips).
+    Admitted,
+    /// Waiting for utilization to free up (Queue policy only).
+    Queued,
+    /// Never runs (Reject policy only).
+    Rejected,
+}
+
+impl AdmissionOutcome {
+    /// Stats label; `admitted` / `queued` / `rejected`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionOutcome::Admitted => "admitted",
+            AdmissionOutcome::Queued => "queued",
+            AdmissionOutcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// One full core, in parts per million.
+pub const FULL_UTILIZATION_PPM: u64 = 1_000_000;
+
+/// Tracks per-session utilization and verdicts over a run.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+    utilization_ppm: Vec<u64>,
+    criticality: Vec<Criticality>,
+    outcome: Vec<AdmissionOutcome>,
+}
+
+impl AdmissionController {
+    /// Runs the initial feasibility pass. Sessions are considered in
+    /// criticality order (`Hard` first, ties by index), each admitted
+    /// while the running utilization sum stays within the bound.
+    /// Zero-utilization sessions (no SLO) are always admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two input vectors disagree in length.
+    #[must_use]
+    pub fn new(
+        policy: AdmissionPolicy,
+        utilization_ppm: Vec<u64>,
+        criticality: Vec<Criticality>,
+    ) -> Self {
+        assert_eq!(utilization_ppm.len(), criticality.len());
+        let n = utilization_ppm.len();
+        let mut outcome = vec![AdmissionOutcome::Admitted; n];
+        if policy != AdmissionPolicy::Off {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| (Reverse(criticality[i]), i));
+            let mut load: u128 = 0;
+            for i in order {
+                let u = u128::from(utilization_ppm[i]);
+                if u == 0 || load + u <= u128::from(FULL_UTILIZATION_PPM) {
+                    load += u;
+                } else {
+                    outcome[i] = match policy {
+                        AdmissionPolicy::Reject => AdmissionOutcome::Rejected,
+                        _ => AdmissionOutcome::Queued,
+                    };
+                }
+            }
+        }
+        AdmissionController {
+            policy,
+            utilization_ppm,
+            criticality,
+            outcome,
+        }
+    }
+
+    /// The admission policy in force.
+    #[must_use]
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Current verdict for session `i`.
+    #[must_use]
+    pub fn outcome(&self, i: usize) -> AdmissionOutcome {
+        self.outcome[i]
+    }
+
+    /// Estimated utilization of session `i`, in ppm.
+    #[must_use]
+    pub fn utilization_ppm(&self, i: usize) -> u64 {
+        self.utilization_ppm[i]
+    }
+
+    /// Re-tests queued sessions after some admitted sessions finished
+    /// (`done[i]` true). Queued sessions whose utilization now fits are
+    /// flipped to `Admitted`, highest criticality first; the indices of
+    /// the newly admitted sessions are returned in admission order.
+    pub fn retry(&mut self, done: &[bool]) -> Vec<usize> {
+        if self.policy != AdmissionPolicy::Queue {
+            return Vec::new();
+        }
+        let load: u128 = (0..self.outcome.len())
+            .filter(|&i| self.outcome[i] == AdmissionOutcome::Admitted && !done[i])
+            .map(|i| u128::from(self.utilization_ppm[i]))
+            .sum();
+        let mut load = load;
+        let mut queued: Vec<usize> = (0..self.outcome.len())
+            .filter(|&i| self.outcome[i] == AdmissionOutcome::Queued)
+            .collect();
+        queued.sort_by_key(|&i| (Reverse(self.criticality[i]), i));
+        let mut admitted = Vec::new();
+        for i in queued {
+            let u = u128::from(self.utilization_ppm[i]);
+            if load + u <= u128::from(FULL_UTILIZATION_PPM) {
+                load += u;
+                self.outcome[i] = AdmissionOutcome::Admitted;
+                admitted.push(i);
+            }
+        }
+        admitted
+    }
+
+    /// Force-admits the highest-criticality queued session, regardless of
+    /// the bound. Used when nothing admitted is runnable: an idle core
+    /// with queued work would be a livelock, and running overloaded beats
+    /// not running at all (the ladder absorbs the overload).
+    pub fn force_admit(&mut self) -> Option<usize> {
+        let pick = (0..self.outcome.len())
+            .filter(|&i| self.outcome[i] == AdmissionOutcome::Queued)
+            .min_by_key(|&i| (Reverse(self.criticality[i]), i))?;
+        self.outcome[pick] = AdmissionOutcome::Admitted;
+        Some(pick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_admits_everything() {
+        let c = AdmissionController::new(
+            AdmissionPolicy::Off,
+            vec![900_000, 900_000, 900_000],
+            vec![Criticality::BestEffort; 3],
+        );
+        for i in 0..3 {
+            assert_eq!(c.outcome(i), AdmissionOutcome::Admitted);
+        }
+    }
+
+    #[test]
+    fn reject_prefers_hard_over_soft_over_best_effort() {
+        // Three sessions of 600k ppm each: only one fits; the hard one
+        // wins regardless of index order.
+        let c = AdmissionController::new(
+            AdmissionPolicy::Reject,
+            vec![600_000, 600_000, 600_000],
+            vec![Criticality::Soft, Criticality::Hard, Criticality::Soft],
+        );
+        assert_eq!(c.outcome(1), AdmissionOutcome::Admitted);
+        assert_eq!(c.outcome(0), AdmissionOutcome::Rejected);
+        assert_eq!(c.outcome(2), AdmissionOutcome::Rejected);
+    }
+
+    #[test]
+    fn zero_utilization_sessions_always_admitted() {
+        let c = AdmissionController::new(
+            AdmissionPolicy::Reject,
+            vec![1_000_000, 0, 500_000],
+            vec![
+                Criticality::Hard,
+                Criticality::BestEffort,
+                Criticality::Soft,
+            ],
+        );
+        assert_eq!(c.outcome(0), AdmissionOutcome::Admitted);
+        assert_eq!(c.outcome(1), AdmissionOutcome::Admitted);
+        assert_eq!(c.outcome(2), AdmissionOutcome::Rejected);
+    }
+
+    #[test]
+    fn queue_admits_on_retry_when_load_frees_up() {
+        let mut c = AdmissionController::new(
+            AdmissionPolicy::Queue,
+            vec![700_000, 700_000],
+            vec![Criticality::Hard, Criticality::Soft],
+        );
+        assert_eq!(c.outcome(0), AdmissionOutcome::Admitted);
+        assert_eq!(c.outcome(1), AdmissionOutcome::Queued);
+        // Nothing finished yet: still queued.
+        assert!(c.retry(&[false, false]).is_empty());
+        // Tenant 0 finishes: its 700k ppm free up.
+        assert_eq!(c.retry(&[true, false]), vec![1]);
+        assert_eq!(c.outcome(1), AdmissionOutcome::Admitted);
+    }
+
+    #[test]
+    fn force_admit_picks_highest_criticality_queued() {
+        let mut c = AdmissionController::new(
+            AdmissionPolicy::Queue,
+            vec![600_000, 600_000, 600_000],
+            vec![Criticality::Hard, Criticality::Soft, Criticality::Soft],
+        );
+        assert_eq!(c.outcome(0), AdmissionOutcome::Admitted);
+        assert_eq!(c.force_admit(), Some(1));
+        assert_eq!(c.outcome(1), AdmissionOutcome::Admitted);
+        assert_eq!(c.force_admit(), Some(2));
+        assert_eq!(c.force_admit(), None);
+    }
+
+    #[test]
+    fn utilization_sum_never_overflows() {
+        // A session infeasible *on its own* (u > 100%) is refused, and the
+        // u128 accumulator keeps the sum exact even at u64::MAX inputs.
+        let c = AdmissionController::new(
+            AdmissionPolicy::Reject,
+            vec![u64::MAX, u64::MAX, 200_000],
+            vec![Criticality::Hard, Criticality::Hard, Criticality::Soft],
+        );
+        assert_eq!(c.outcome(0), AdmissionOutcome::Rejected);
+        assert_eq!(c.outcome(1), AdmissionOutcome::Rejected);
+        assert_eq!(c.outcome(2), AdmissionOutcome::Admitted);
+    }
+}

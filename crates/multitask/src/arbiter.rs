@@ -150,6 +150,25 @@ impl FabricArbiter {
         }
         true
     }
+
+    /// Moves up to `amount` of tenant `from`'s grant to tenant `to`
+    /// (clamped to what `from` actually holds) and returns what actually
+    /// moved. This is the degradation ladder's loan primitive: unlike
+    /// [`FabricArbiter::release`] it works under every policy — a ladder
+    /// step is an explicit SLO decision, not the arbiter's own discipline —
+    /// and it conserves the pool by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is not a tenant index.
+    pub fn transfer(&mut self, from: usize, to: usize, amount: Resources) -> Resources {
+        let moved = amount.min(self.slices[from]);
+        if from != to {
+            self.slices[from] = self.slices[from].saturating_sub(moved);
+            self.slices[to] += moved;
+        }
+        moved
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +242,27 @@ mod tests {
         let mut a = FabricArbiter::new(ArbiterPolicy::Dynamic, Resources::new(4, 4), &[1]);
         assert!(!a.release(0, Resources::NONE, &[]));
         assert_eq!(a.grant(0), Resources::NONE);
+    }
+
+    #[test]
+    fn transfer_moves_clamped_amount_and_conserves_the_pool() {
+        let pool = Resources::new(4, 4);
+        let mut a = FabricArbiter::new(ArbiterPolicy::Static, pool, &[1, 1]);
+        assert_eq!(a.grant(0), Resources::new(2, 2));
+        // Ask for more than tenant 0 holds: the move clamps.
+        let moved = a.transfer(0, 1, Resources::new(3, 1));
+        assert_eq!(moved, Resources::new(2, 1));
+        assert_eq!(a.grant(0), Resources::new(0, 1));
+        assert_eq!(a.grant(1), Resources::new(4, 3));
+        let total: Resources = a.slices().iter().copied().sum();
+        assert_eq!(total, pool);
+        // Give it back: the original partition is restored.
+        let back = a.transfer(1, 0, moved);
+        assert_eq!(back, moved);
+        assert_eq!(a.grant(0), Resources::new(2, 2));
+        // Self-transfer is a no-op.
+        assert_eq!(a.transfer(0, 0, Resources::new(1, 1)), Resources::new(1, 1));
+        assert_eq!(a.grant(0), Resources::new(2, 2));
     }
 
     #[test]

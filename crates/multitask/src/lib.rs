@@ -15,7 +15,13 @@
 //!   re-partitioning as tenants finish),
 //! * [`scheduler::Scheduler`] — **time**-shares the single core between
 //!   runnable tenants (round-robin with a time quantum, strict priority,
-//!   or weighted-fair queuing), and
+//!   or weighted-fair queuing — plus the deadline-driven EDF and
+//!   least-laxity-first disciplines),
+//! * [`slo::Slo`] + [`admission::AdmissionController`] — give tenants
+//!   deadlines and criticality classes, admit only feasible SLO mixes
+//!   (reject or queue the rest), and let deadline-aware schedulers (EDF,
+//!   least-laxity) plus a degrade-don't-drop ladder shed *speedup*
+//!   instead of work under overload, and
 //! * [`runner::run_multitask`] — drives per-tenant
 //!   [`Simulator`](mrts_sim::Simulator)s one block activation at a time,
 //!   charging context-switch and re-partition costs
@@ -69,12 +75,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod arbiter;
 pub mod runner;
 pub mod scheduler;
+pub mod slo;
 
+pub use admission::{AdmissionController, AdmissionOutcome, AdmissionPolicy};
 pub use arbiter::{ArbiterPolicy, FabricArbiter};
 pub use runner::{
     run_multitask, run_multitask_with_events, MultitaskConfig, MultitaskError, TenantSpec,
 };
-pub use scheduler::{RoundRobin, Scheduler, SchedulerKind, StrictPriority, WeightedFair};
+pub use scheduler::{
+    EarliestDeadline, LeastLaxity, RoundRobin, Scheduler, SchedulerKind, StrictPriority,
+    WeightedFair,
+};
+pub use slo::{ladder_cap, Criticality, Slo, SloSnapshot, LADDER_BOTTOM};

@@ -8,6 +8,7 @@
 //! reproduce the same schedule bit-for-bit, which keeps multi-tenant runs
 //! deterministic across hosts and thread counts.
 
+use crate::slo::SloSnapshot;
 use mrts_arch::Cycles;
 use std::fmt;
 use std::str::FromStr;
@@ -19,13 +20,21 @@ use std::str::FromStr;
 /// consumed. Implementations must be deterministic: equal inputs must
 /// produce equal picks (ties break towards the lowest tenant index).
 pub trait Scheduler: fmt::Debug {
-    /// Short diagnostic name (`rr`, `prio`, `wfq`).
+    /// Short diagnostic name (`rr`, `prio`, `wfq`, `edf`, `llf`).
     fn name(&self) -> &'static str;
 
     /// Chooses the next tenant among the runnable ones (`runnable[i]` is
     /// `true` iff tenant `i` still has blocks to execute). Returns `None`
     /// iff no tenant is runnable.
     fn pick(&mut self, runnable: &[bool]) -> Option<usize>;
+
+    /// Deadline-aware pick: like [`Scheduler::pick`], but with the
+    /// tenants' current SLO state available. The deadline-blind
+    /// disciplines ignore the snapshot (this default); EDF and LLF are
+    /// *defined* by it.
+    fn pick_slo(&mut self, runnable: &[bool], _slo: &SloSnapshot<'_>) -> Option<usize> {
+        self.pick(runnable)
+    }
 
     /// Accounts `consumed` core cycles to `tenant` after it ran a block.
     fn charge(&mut self, tenant: usize, consumed: Cycles);
@@ -173,6 +182,73 @@ impl Scheduler for WeightedFair {
     }
 }
 
+/// Earliest-deadline-first: the runnable tenant whose next block deadline
+/// is soonest runs next. Tenants without a deadline sort last (they run
+/// in the slack), ties break towards the lowest index. Optimal for
+/// feasible mixes on one core; under overload it starves the latest
+/// deadlines — which is exactly the regime the admission controller and
+/// the degradation ladder exist for.
+#[derive(Debug, Clone, Default)]
+pub struct EarliestDeadline;
+
+impl Scheduler for EarliestDeadline {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn pick(&mut self, runnable: &[bool]) -> Option<usize> {
+        // Without deadline information every tenant ranks equally:
+        // degenerate to lowest-index-first.
+        runnable.iter().position(|&r| r)
+    }
+
+    fn pick_slo(&mut self, runnable: &[bool], slo: &SloSnapshot<'_>) -> Option<usize> {
+        (0..runnable.len())
+            .filter(|&i| runnable[i])
+            .min_by_key(|&i| {
+                let d = slo
+                    .deadlines
+                    .get(i)
+                    .copied()
+                    .flatten()
+                    .map_or(u64::MAX, Cycles::get);
+                (d, i)
+            })
+    }
+
+    fn charge(&mut self, _tenant: usize, _consumed: Cycles) {}
+}
+
+/// Least-laxity-first: the runnable tenant with the smallest slack
+/// (deadline − now − estimated remaining service) runs next. More
+/// reactive than EDF when service estimates are meaningful — a tenant
+/// with a far deadline but a mountain of remaining work preempts one
+/// with a near deadline and almost nothing left. Tenants without laxity
+/// information sort last; ties break towards the lowest index.
+#[derive(Debug, Clone, Default)]
+pub struct LeastLaxity;
+
+impl Scheduler for LeastLaxity {
+    fn name(&self) -> &'static str {
+        "llf"
+    }
+
+    fn pick(&mut self, runnable: &[bool]) -> Option<usize> {
+        runnable.iter().position(|&r| r)
+    }
+
+    fn pick_slo(&mut self, runnable: &[bool], slo: &SloSnapshot<'_>) -> Option<usize> {
+        (0..runnable.len())
+            .filter(|&i| runnable[i])
+            .min_by_key(|&i| {
+                let l = slo.laxities.get(i).copied().flatten().unwrap_or(i128::MAX);
+                (l, i)
+            })
+    }
+
+    fn charge(&mut self, _tenant: usize, _consumed: Cycles) {}
+}
+
 /// Selector for the scheduling discipline a multi-tenant run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
@@ -182,6 +258,10 @@ pub enum SchedulerKind {
     StrictPriority,
     /// [`WeightedFair`] over the tenant weights.
     WeightedFair,
+    /// [`EarliestDeadline`] over the tenants' SLO deadlines.
+    EarliestDeadline,
+    /// [`LeastLaxity`] over the tenants' SLO laxities.
+    LeastLaxity,
 }
 
 impl SchedulerKind {
@@ -196,6 +276,8 @@ impl SchedulerKind {
             SchedulerKind::RoundRobin(q) => Box::new(RoundRobin::new(*q)),
             SchedulerKind::StrictPriority => Box::new(StrictPriority::new(weights)),
             SchedulerKind::WeightedFair => Box::new(WeightedFair::new(weights)),
+            SchedulerKind::EarliestDeadline => Box::new(EarliestDeadline),
+            SchedulerKind::LeastLaxity => Box::new(LeastLaxity),
         }
     }
 }
@@ -203,13 +285,15 @@ impl SchedulerKind {
 impl FromStr for SchedulerKind {
     type Err = String;
 
-    /// Parses `rr` (default quantum), `prio` or `wfq`.
+    /// Parses `rr` (default quantum), `prio`, `wfq`, `edf` or `llf`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "rr" => Ok(SchedulerKind::RoundRobin(Self::DEFAULT_QUANTUM)),
             "prio" => Ok(SchedulerKind::StrictPriority),
             "wfq" => Ok(SchedulerKind::WeightedFair),
-            other => Err(format!("unknown scheduler '{other}' (rr|prio|wfq)")),
+            "edf" => Ok(SchedulerKind::EarliestDeadline),
+            "llf" => Ok(SchedulerKind::LeastLaxity),
+            other => Err(format!("unknown scheduler '{other}' (rr|prio|wfq|edf|llf)")),
         }
     }
 }
@@ -220,6 +304,8 @@ impl fmt::Display for SchedulerKind {
             SchedulerKind::RoundRobin(_) => write!(f, "rr"),
             SchedulerKind::StrictPriority => write!(f, "prio"),
             SchedulerKind::WeightedFair => write!(f, "wfq"),
+            SchedulerKind::EarliestDeadline => write!(f, "edf"),
+            SchedulerKind::LeastLaxity => write!(f, "llf"),
         }
     }
 }
@@ -303,11 +389,68 @@ mod tests {
 
     #[test]
     fn kind_parses_and_builds() {
-        for (s, name) in [("rr", "rr"), ("prio", "prio"), ("wfq", "wfq")] {
+        for (s, name) in [
+            ("rr", "rr"),
+            ("prio", "prio"),
+            ("wfq", "wfq"),
+            ("edf", "edf"),
+            ("llf", "llf"),
+        ] {
             let kind: SchedulerKind = s.parse().unwrap();
             assert_eq!(kind.to_string(), name);
             assert_eq!(kind.build(&[1, 1]).name(), name);
         }
         assert!("lottery".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn edf_picks_earliest_deadline_and_parks_unconstrained_last() {
+        let mut edf = EarliestDeadline;
+        let deadlines = [
+            Some(Cycles::new(900)),
+            Some(Cycles::new(400)),
+            None,
+            Some(Cycles::new(400)),
+        ];
+        let snap = SloSnapshot {
+            deadlines: &deadlines,
+            laxities: &[None; 4],
+        };
+        // Soonest deadline wins; the 400-cycle tie breaks to index 1.
+        assert_eq!(edf.pick_slo(&[true; 4], &snap), Some(1));
+        // With the urgent pair done, 900 beats "no deadline".
+        assert_eq!(edf.pick_slo(&[true, false, true, false], &snap), Some(0));
+        // Only the unconstrained tenant left: it still runs.
+        assert_eq!(edf.pick_slo(&[false, false, true, false], &snap), Some(2));
+        assert_eq!(edf.pick_slo(&[false; 4], &snap), None);
+        // Deadline-blind fallback degenerates to lowest index.
+        assert_eq!(edf.pick(&[false, true, true, false]), Some(1));
+    }
+
+    #[test]
+    fn llf_picks_smallest_laxity_including_negative() {
+        let mut llf = LeastLaxity;
+        let laxities = [Some(500i128), Some(-200), None, Some(-200)];
+        let snap = SloSnapshot {
+            deadlines: &[None; 4],
+            laxities: &laxities,
+        };
+        // Most negative laxity is most urgent; tie breaks to index 1.
+        assert_eq!(llf.pick_slo(&[true; 4], &snap), Some(1));
+        assert_eq!(llf.pick_slo(&[true, false, true, false], &snap), Some(0));
+        assert_eq!(llf.pick_slo(&[false, false, true, false], &snap), Some(2));
+    }
+
+    #[test]
+    fn deadline_blind_schedulers_ignore_the_snapshot() {
+        let deadlines = [Some(Cycles::new(1)), Some(Cycles::new(2))];
+        let snap = SloSnapshot {
+            deadlines: &deadlines,
+            laxities: &[None; 2],
+        };
+        let mut wfq = WeightedFair::new(&[1, 1]);
+        wfq.charge(0, Cycles::new(1_000));
+        // WFQ's virtual time, not the deadline, decides.
+        assert_eq!(wfq.pick_slo(&[true, true], &snap), Some(1));
     }
 }

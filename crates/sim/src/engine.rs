@@ -31,7 +31,30 @@ use mrts_workload::{KernelActivity, Trace};
 /// faults are transient, so a small budget recovers almost all of them; a
 /// load still failing afterwards is abandoned for this block and the
 /// affected kernel degrades to its best remaining implementation.
+/// This is the default of [`RecoveryConfig::retry_budget`].
 pub const LOAD_RETRY_BUDGET: u32 = 3;
+
+/// Tunable fault-recovery behaviour of the engine's load path
+/// (`mrts-cli simulate --retry-budget`). The defaults reproduce the
+/// historical hardcoded behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Retries granted per faulted load on top of the initial attempt.
+    pub retry_budget: u32,
+    /// Extra delay inserted before each retry, on top of waiting out the
+    /// wasted transfer. Zero (the default) retries as soon as the port
+    /// frees up.
+    pub backoff: Cycles,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            retry_budget: LOAD_RETRY_BUDGET,
+            backoff: Cycles::ZERO,
+        }
+    }
+}
 
 /// The simulator: machine state plus the [`Timeline`] (clock, residency
 /// boundary queue and event spine).
@@ -40,6 +63,7 @@ pub struct Simulator<'a> {
     catalog: &'a IseCatalog,
     machine: Machine,
     timeline: Timeline,
+    recovery: RecoveryConfig,
 }
 
 impl<'a> Simulator<'a> {
@@ -50,7 +74,48 @@ impl<'a> Simulator<'a> {
             catalog,
             machine,
             timeline: Timeline::new(),
+            recovery: RecoveryConfig::default(),
         }
+    }
+
+    /// Replaces the fault-recovery configuration (builder form).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Replaces the fault-recovery configuration in place.
+    pub fn set_recovery(&mut self, recovery: RecoveryConfig) {
+        self.recovery = recovery;
+    }
+
+    /// The fault-recovery configuration in force.
+    #[must_use]
+    pub fn recovery(&self) -> RecoveryConfig {
+        self.recovery
+    }
+
+    /// Validates that every kernel a trace references (forecast and
+    /// actual) exists in this simulator's catalogue; returns the first
+    /// offending kernel otherwise. Running an unchecked trace against the
+    /// wrong catalogue panics in the execution hot path, so callers
+    /// pairing traces and catalogues dynamically (the multi-tenant
+    /// runner) validate up front and turn the panic into a typed error.
+    pub fn check_trace(&self, trace: &Trace) -> Result<(), KernelId> {
+        for activation in trace.activations() {
+            for task in activation.forecast.iter() {
+                if self.catalog.kernel(task.kernel).is_err() {
+                    return Err(task.kernel);
+                }
+            }
+            for activity in &activation.actual {
+                if self.catalog.kernel(activity.kernel).is_err() {
+                    return Err(activity.kernel);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Attaches an event sink: every subsequent step emits the typed
@@ -251,10 +316,13 @@ impl<'a> Simulator<'a> {
         policy: &mut dyn RuntimePolicy,
         stats: &mut RunStats,
     ) -> (Cycles, Cycles) {
+        // Infallible by construction for traces built from the same
+        // application as the catalogue; dynamic pairings are validated up
+        // front via `Simulator::check_trace`.
         let kernel = self
             .catalog
             .kernel(activity.kernel)
-            .expect("trace kernels must exist in the catalogue");
+            .expect("trace kernel missing from catalogue (callers must check_trace first)");
         let risc = kernel.risc_latency();
         let mut t = start_base + activity.first_delay;
         let mut remaining = activity.executions;
@@ -406,10 +474,10 @@ impl<'a> Simulator<'a> {
     }
 
     /// Issues the reconfiguration of `u`, retrying faulted attempts up to
-    /// [`LOAD_RETRY_BUDGET`] times; returns its completion time, or `None`
-    /// if the load could not be placed (insufficient fabric, or the retry
-    /// budget was exhausted — the kernel then degrades to its best
-    /// still-available implementation).
+    /// [`RecoveryConfig::retry_budget`] times; returns its completion
+    /// time, or `None` if the load could not be placed (insufficient
+    /// fabric, or the retry budget was exhausted — the kernel then
+    /// degrades to its best still-available implementation).
     fn issue_load(
         &mut self,
         now: Cycles,
@@ -421,7 +489,7 @@ impl<'a> Simulator<'a> {
         let fabric = unit.fabric();
         let mut attempt_at = now;
         let mut recovered_from = None;
-        for attempt in 0..=LOAD_RETRY_BUDGET {
+        for attempt in 0..=self.recovery.retry_budget {
             if attempt > 0 {
                 stats.retried_loads += 1;
             }
@@ -480,8 +548,9 @@ impl<'a> Simulator<'a> {
                             kernel: None,
                         },
                     );
-                    // The retry queues behind the wasted transfer.
-                    attempt_at = attempt_at.max(fault.retry_at);
+                    // The retry queues behind the wasted transfer, plus
+                    // any configured extra backoff.
+                    attempt_at = attempt_at.max(fault.retry_at) + self.recovery.backoff;
                 }
                 Err(_) => {
                     stats.rejected_loads += 1;

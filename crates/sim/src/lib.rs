@@ -43,7 +43,7 @@ pub mod record;
 pub mod stats;
 pub mod timeline;
 
-pub use engine::{Simulator, LOAD_RETRY_BUDGET};
+pub use engine::{RecoveryConfig, Simulator, LOAD_RETRY_BUDGET};
 pub use policy::{
     BlockPlan, ExecContext, ExecMode, ExecPlan, FaultEvent, RiscOnlyPolicy, RuntimePolicy,
     SelectionContext, SelectionIndex,

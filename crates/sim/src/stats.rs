@@ -210,6 +210,28 @@ pub struct TenantStats {
     /// Execution time of the same trace on the bare RISC core (analytic;
     /// the numerator of the tenant's speedup).
     pub risc_baseline: Cycles,
+    /// Admission verdict: `""` (no admission control), `"admitted"`,
+    /// `"queued"` (admitted late) or `"rejected"` (never ran).
+    #[serde(default)]
+    pub admission: String,
+    /// SLO deadlines the tenant was subject to (per-block plus session).
+    #[serde(default)]
+    pub slo_deadlines: u64,
+    /// How many of those deadlines were missed.
+    #[serde(default)]
+    pub deadline_misses: u64,
+    /// Tardiness (cycles late) of each missed deadline, in occurrence
+    /// order. Met deadlines contribute nothing here (they count as 0 in
+    /// the percentile helpers).
+    #[serde(default)]
+    pub tardiness: Vec<u64>,
+    /// Times the degradation ladder demoted this tenant one level
+    /// (shedding fabric to a tardy tenant).
+    #[serde(default)]
+    pub degrade_steps: u64,
+    /// Times the ladder promoted this tenant back one level.
+    #[serde(default)]
+    pub promote_steps: u64,
 }
 
 impl TenantStats {
@@ -221,6 +243,28 @@ impl TenantStats {
             return 0.0;
         }
         self.risc_baseline.get() as f64 / self.turnaround.get() as f64
+    }
+
+    /// Fraction of this tenant's SLO deadlines that were missed
+    /// (0.0 when it had none).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.slo_deadlines == 0 {
+            return 0.0;
+        }
+        self.deadline_misses as f64 / self.slo_deadlines as f64
+    }
+
+    /// Sum of all tardiness values (cycles late, accumulated).
+    #[must_use]
+    pub fn total_tardiness(&self) -> u64 {
+        self.tardiness.iter().sum()
+    }
+
+    /// Worst single tardiness (0 when every deadline was met).
+    #[must_use]
+    pub fn max_tardiness(&self) -> u64 {
+        self.tardiness.iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -289,6 +333,68 @@ impl MultitaskStats {
         let execs: u64 = self.tenants.iter().map(|t| t.run.total_executions()).sum();
         execs as f64 / self.makespan.as_mcycles()
     }
+
+    /// Total SLO deadlines across all tenants.
+    #[must_use]
+    pub fn slo_deadlines(&self) -> u64 {
+        self.tenants.iter().map(|t| t.slo_deadlines).sum()
+    }
+
+    /// Total missed deadlines across all tenants.
+    #[must_use]
+    pub fn deadline_misses(&self) -> u64 {
+        self.tenants.iter().map(|t| t.deadline_misses).sum()
+    }
+
+    /// Run-wide deadline-miss rate (0.0 when no tenant had an SLO).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.slo_deadlines();
+        if total == 0 {
+            return 0.0;
+        }
+        self.deadline_misses() as f64 / total as f64
+    }
+
+    /// Total ladder demotions across all tenants.
+    #[must_use]
+    pub fn degrade_steps(&self) -> u64 {
+        self.tenants.iter().map(|t| t.degrade_steps).sum()
+    }
+
+    /// Total ladder promotions across all tenants.
+    #[must_use]
+    pub fn promote_steps(&self) -> u64 {
+        self.tenants.iter().map(|t| t.promote_steps).sum()
+    }
+
+    /// The `q_num/q_den` tardiness quantile over *all* SLO deadlines in
+    /// the run — met deadlines count as 0 cycles late, so e.g.
+    /// `tardiness_percentile(95, 100)` is the p95 lateness a deadline
+    /// experienced. Integer and exact: sorts the merged sample and takes
+    /// element `ceil(q·n) − 1`. Returns 0 when no tenant had an SLO.
+    #[must_use]
+    pub fn tardiness_percentile(&self, q_num: u64, q_den: u64) -> u64 {
+        let n = self.slo_deadlines();
+        if n == 0 || q_den == 0 {
+            return 0;
+        }
+        let mut late: Vec<u64> = self
+            .tenants
+            .iter()
+            .flat_map(|t| t.tardiness.iter().copied())
+            .collect();
+        late.sort_unstable();
+        // Rank of the quantile among n samples, the first n - late.len()
+        // of which are implicit zeros (met deadlines).
+        let rank = (q_num * n).div_ceil(q_den).clamp(1, n) as usize;
+        let zeros = n as usize - late.len();
+        if rank <= zeros {
+            0
+        } else {
+            late[rank - zeros - 1]
+        }
+    }
 }
 
 impl fmt::Display for MultitaskStats {
@@ -318,6 +424,24 @@ impl fmt::Display for MultitaskStats {
                 t.turnaround.as_mcycles(),
                 t.waiting_cycles.as_mcycles()
             )?;
+            if t.slo_deadlines > 0 || !t.admission.is_empty() {
+                writeln!(
+                    f,
+                    "      slo: {}{} deadlines, {} missed ({:.1}%), \
+                     max tardiness {:.3} Mcycles, ladder {}v/{}^",
+                    if t.admission.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{}, ", t.admission)
+                    },
+                    t.slo_deadlines,
+                    t.deadline_misses,
+                    t.miss_rate() * 100.0,
+                    Cycles::new(t.max_tardiness()).as_mcycles(),
+                    t.degrade_steps,
+                    t.promote_steps
+                )?;
+            }
         }
         Ok(())
     }
@@ -458,5 +582,41 @@ mod tests {
         assert_eq!(empty.aggregate_speedup(), 0.0);
         assert_eq!(empty.jain_fairness(), 1.0);
         assert_eq!(empty.throughput(), 0.0);
+    }
+
+    #[test]
+    fn slo_miss_rate_and_percentiles() {
+        let m = MultitaskStats {
+            tenants: vec![
+                TenantStats {
+                    slo_deadlines: 8,
+                    deadline_misses: 2,
+                    tardiness: vec![500, 100],
+                    ..TenantStats::default()
+                },
+                TenantStats {
+                    slo_deadlines: 2,
+                    deadline_misses: 1,
+                    tardiness: vec![900],
+                    ..TenantStats::default()
+                },
+            ],
+            ..MultitaskStats::default()
+        };
+        assert_eq!(m.slo_deadlines(), 10);
+        assert_eq!(m.deadline_misses(), 3);
+        assert!((m.miss_rate() - 0.3).abs() < 1e-12);
+        // Sorted lateness sample: seven 0s, then 100, 500, 900.
+        assert_eq!(m.tardiness_percentile(50, 100), 0);
+        assert_eq!(m.tardiness_percentile(80, 100), 100);
+        assert_eq!(m.tardiness_percentile(90, 100), 500);
+        // Nearest-rank: p95 over 10 samples is the 10th, i.e. the max.
+        assert_eq!(m.tardiness_percentile(95, 100), 900);
+        assert_eq!(m.tardiness_percentile(100, 100), 900);
+        assert_eq!(MultitaskStats::default().tardiness_percentile(95, 100), 0);
+        let t = &m.tenants[0];
+        assert!((t.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(t.total_tardiness(), 600);
+        assert_eq!(t.max_tardiness(), 500);
     }
 }

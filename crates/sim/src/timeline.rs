@@ -180,6 +180,37 @@ pub enum SimEvent {
         /// Granted PRC containers.
         prc: u16,
     },
+    /// A tenant's block (or session) finished after its SLO deadline.
+    DeadlineMiss {
+        /// When the late block actually completed.
+        at: Cycles,
+        /// The tardy tenant.
+        tenant: u32,
+        /// The functional block that ran late.
+        block: BlockId,
+        /// The absolute deadline that was missed.
+        deadline: Cycles,
+        /// How late: `at - deadline`.
+        tardiness: Cycles,
+    },
+    /// The SLO degradation ladder moved a tenant between levels
+    /// (0 = full ISE budget … 3 = pure RISC). `to_level > from_level` is a
+    /// demotion shedding speedup to a tardy tenant; `to_level < from_level`
+    /// is the climb back once laxity recovers.
+    DegradeStep {
+        /// Global-clock time of the ladder decision.
+        at: Cycles,
+        /// The tenant whose fabric budget changed.
+        tenant: u32,
+        /// Ladder level before the step.
+        from_level: u8,
+        /// Ladder level after the step.
+        to_level: u8,
+        /// CG-EDPE slots the tenant holds after the step.
+        cg: u16,
+        /// PRC containers the tenant holds after the step.
+        prc: u16,
+    },
     /// A functional-block activation completed.
     BlockEnd {
         /// Completion time (block start + makespan).
@@ -207,6 +238,8 @@ impl SimEvent {
             | SimEvent::TenantDispatch { at, .. }
             | SimEvent::TenantPreempt { at, .. }
             | SimEvent::RepartitionGranted { at, .. }
+            | SimEvent::DeadlineMiss { at, .. }
+            | SimEvent::DegradeStep { at, .. }
             | SimEvent::BlockEnd { at, .. } => *at,
         }
     }

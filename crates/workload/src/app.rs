@@ -135,10 +135,11 @@ impl Application {
     /// 16-bit [`KernelId`] / [`BlockId`] ranges (see
     /// [`Application::try_merged`] for the non-panicking form).
     #[must_use]
+    #[track_caller]
     pub fn merged(name: impl Into<String>, apps: &[&Application]) -> (Application, Vec<u16>) {
         match Application::try_merged(name, apps) {
             Ok(merged) => merged,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("Application::merged: {e} (use Application::try_merged to handle this without panicking)"),
         }
     }
 

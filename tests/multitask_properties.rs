@@ -4,11 +4,19 @@
 //! starve a runnable tenant, and preempting a tenant must be invisible to
 //! its reconfiguration state (descheduled time passed in many small
 //! `advance_to` steps is identical to one big step — the DMA-driven
-//! configuration ports stream regardless of who owns the core).
+//! configuration ports stream regardless of who owns the core). On top of
+//! that, the SLO machinery composed with fault injection must stay
+//! degrade-don't-drop: whatever the scheduler, fault rate and deadline
+//! pressure, every admitted tenant finishes its whole trace, every ladder
+//! loan is repaid, faults never leak across tenant boundaries, and the
+//! run stays byte-deterministic.
 
-use mrts::arch::{ArchParams, Cycles, Machine, Resources};
+use mrts::arch::{ArchParams, Cycles, FaultModel, Machine, Resources};
 use mrts::core::Mrts;
-use mrts::multitask::{ArbiterPolicy, FabricArbiter, Scheduler, WeightedFair};
+use mrts::multitask::{
+    run_multitask, ArbiterPolicy, Criticality, FabricArbiter, MultitaskConfig, Scheduler,
+    SchedulerKind, Slo, TenantSpec, WeightedFair,
+};
 use mrts::sim::{RunStats, Simulator};
 use mrts::workload::synthetic::{synthetic_trace, Pattern, ToyApp};
 use mrts::workload::WorkloadModel;
@@ -211,5 +219,82 @@ proptest! {
         let (many, end_many) = run(k);
         prop_assert_eq!(one, many, "stats diverge when the idle span is split");
         prop_assert_eq!(end_one, end_many);
+    }
+
+    /// Fault injection composed with deadline pressure stays
+    /// degrade-don't-drop under every core scheduler: a faulty tenant that
+    /// keeps getting preempted (and possibly demoted by the ladder to fund
+    /// an SLO tenant) still finishes its whole trace, its faults never
+    /// leak into the clean tenants' books, every ladder loan is repaid by
+    /// the end of the run, and the whole thing is byte-deterministic.
+    #[test]
+    fn faults_under_slo_pressure_never_drop_or_deadlock(
+        rounds in 2usize..5,
+        execs in 50u64..400,
+        rate in 0.0f64..0.9,
+        fault_seed in 0u64..1000,
+        sched_ix in 0usize..5,
+        cg in 0u16..3,
+        prc in 0u16..3,
+        period_shift in 0u32..12,
+    ) {
+        let toy = ToyApp::new();
+        let catalog = toy
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .expect("toy kernels are mappable");
+        let trace = synthetic_trace(&toy, &[Pattern::Constant(execs)], rounds);
+        let sched = [
+            SchedulerKind::RoundRobin(Cycles::new(100_000)),
+            SchedulerKind::StrictPriority,
+            SchedulerKind::WeightedFair,
+            SchedulerKind::EarliestDeadline,
+            SchedulerKind::LeastLaxity,
+        ][sched_ix];
+        let cfg = MultitaskConfig {
+            policy: "mrts".into(),
+            arbiter: ArbiterPolicy::Dynamic,
+            scheduler: sched,
+            degrade: true,
+            repartition_min_demand: Cycles::ZERO,
+            ..MultitaskConfig::default()
+        };
+        // Anywhere from hopeless (period 256 cycles) to comfortable.
+        let slo = Slo {
+            session_deadline: None,
+            block_period: Some(Cycles::new(1u64 << (8 + period_shift))),
+            criticality: Criticality::Hard,
+        };
+        let fm = FaultModel::new(rate, fault_seed);
+        let run = || {
+            let specs = [
+                TenantSpec::new("rt", &catalog, &trace).with_slo(slo),
+                TenantSpec::new("faulty", &catalog, &trace).with_fault_model(fm.clone()),
+                TenantSpec::new("clean", &catalog, &trace),
+            ];
+            run_multitask(ArchParams::default(), Resources::new(cg, prc), &specs, &cfg)
+                .expect("the multitask run must not fail")
+        };
+        let a = run();
+        prop_assert_eq!(&a, &run(), "equal inputs must give byte-equal stats");
+
+        // Degrade-don't-drop: nobody loses work to faults, preemption or
+        // ladder demotions.
+        let expected: u64 = rounds as u64 * execs;
+        for t in &a.tenants {
+            prop_assert_eq!(
+                t.run.total_executions(), expected,
+                "tenant {} dropped executions", t.app
+            );
+        }
+        // Faults stay inside the faulty tenant's books.
+        prop_assert_eq!(a.tenants[0].run.failed_loads, 0);
+        prop_assert_eq!(a.tenants[2].run.failed_loads, 0);
+        // Every loan is repaid: the ladder unwinds fully by the end.
+        prop_assert_eq!(a.degrade_steps(), a.promote_steps(), "unreturned ladder loans");
+        // The clock is consistent: the run ends no earlier than the last
+        // tenant's finish (release-path repartitions may pad the tail).
+        let last = a.tenants.iter().map(|t| t.turnaround).max().unwrap();
+        prop_assert!(a.makespan >= last, "makespan precedes a tenant's finish");
     }
 }

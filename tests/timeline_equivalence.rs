@@ -177,9 +177,9 @@ fn solo_with_events(
 /// The spine invariants every event log must satisfy:
 ///
 /// 1. timestamps are non-decreasing **per tenant** (`RepartitionGranted`
-///    is excluded: it is an arbiter-side notification stamped with the
-///    global clock, which may legitimately run ahead of a descheduled
-///    beneficiary's still-deferred fabric completions),
+///    and `DegradeStep` are excluded: both are arbiter-side notifications
+///    stamped with the global clock, which may legitimately run ahead of
+///    a descheduled tenant's still-deferred fabric completions),
 /// 2. `BlockStart`/`BlockEnd` are balanced and never nested,
 /// 3. every `LoadReady` lands exactly when a prior `LoadIssued` for the
 ///    same unit promised (`at == ready_at`, `issued.at <= ready_at`),
@@ -189,7 +189,10 @@ fn assert_spine_invariants(events: &[(u32, SimEvent)]) {
     let mut depth: HashMap<u32, i64> = HashMap::new();
     let mut promised: HashMap<u32, Vec<(mrts::ise::UnitId, Cycles)>> = HashMap::new();
     for (i, (tenant, ev)) in events.iter().enumerate() {
-        if !matches!(ev, SimEvent::RepartitionGranted { .. }) {
+        if !matches!(
+            ev,
+            SimEvent::RepartitionGranted { .. } | SimEvent::DegradeStep { .. }
+        ) {
             let prev = last.entry(*tenant).or_insert(Cycles::ZERO);
             assert!(
                 ev.at() >= *prev,
