@@ -134,6 +134,11 @@ pub struct Mrts {
     total_selection_cycles: u64,
     total_kernels_selected: u64,
     faults_observed: u64,
+    /// Recycled plan buffers (see [`RuntimePolicy::recycle_plan`]): the
+    /// eviction list handed out with each [`BlockPlan`] returns here once
+    /// the engine has applied it, so steady-state planning reuses its
+    /// capacity instead of allocating per block.
+    evict_buf: Vec<UnitId>,
 }
 
 impl Mrts {
@@ -153,6 +158,7 @@ impl Mrts {
             total_selection_cycles: 0,
             total_kernels_selected: 0,
             faults_observed: 0,
+            evict_buf: Vec::new(),
         }
     }
 
@@ -312,7 +318,7 @@ impl RuntimePolicy for Mrts {
         let free = ctx.machine.free_resources();
         let mut cg_short = need.cg().saturating_sub(free.cg());
         let mut prc_short = need.prc().saturating_sub(free.prc());
-        let mut evict = Vec::new();
+        let mut evict = std::mem::take(&mut self.evict_buf);
         for u in evictable {
             if cg_short == 0 && prc_short == 0 {
                 break;
@@ -399,6 +405,19 @@ impl RuntimePolicy for Mrts {
     /// slice-aware in a multi-tenant run.
     fn set_resource_slice(&mut self, slice: Option<Resources>) {
         self.set_slice(slice);
+    }
+
+    /// Reclaims the applied plan's eviction buffer, so the next
+    /// [`Mrts::plan_block`] builds its eviction list in place instead of
+    /// allocating a fresh `Vec` per block.
+    fn recycle_plan(&mut self, plan: BlockPlan) {
+        let mut evict = plan.evict;
+        evict.clear();
+        // Keep whichever buffer has more capacity (a recycled empty from
+        // the zero-budget fast path must not shrink the pool).
+        if evict.capacity() > self.evict_buf.capacity() {
+            self.evict_buf = evict;
+        }
     }
 }
 

@@ -302,6 +302,7 @@ impl<'a> Simulator<'a> {
         });
         self.timeline.advance_to(end);
         self.machine.settle(end);
+        policy.recycle_plan(plan);
     }
 
     /// Simulates one kernel's execution timeline; returns (busy cycles,

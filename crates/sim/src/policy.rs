@@ -211,6 +211,15 @@ pub trait RuntimePolicy {
     fn set_resource_slice(&mut self, slice: Option<Resources>) {
         let _ = slice;
     }
+
+    /// Hands the consumed [`BlockPlan`] back to the policy once the engine
+    /// has fully applied it. Policies that care about steady-state
+    /// allocation hygiene reclaim the plan's `Vec` capacities here and
+    /// reuse them for the next block, making the plan-construction path of
+    /// the stepping hot loop allocation-free. The default drops the plan.
+    fn recycle_plan(&mut self, plan: BlockPlan) {
+        let _ = plan;
+    }
 }
 
 /// The trivial policy: never reconfigures anything, every kernel runs in
