@@ -26,7 +26,6 @@
 use mrts_arch::{Cycles, FabricKind, LoadedId, ReconfigurationController};
 use mrts_ise::ise::IseStage;
 use mrts_ise::{Ise, TriggerInstruction, UnitId};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Expected behaviour of one availability stage of a candidate ISE.
@@ -105,20 +104,25 @@ pub struct ProfitMemo {
     fg_base: Cycles,
     /// `max(now, busy_until)` of the CG context port.
     cg_base: Cycles,
-    /// Ready times of queued/streaming transfers, first occurrence wins
-    /// (FG port scanned before CG, matching
-    /// [`ReconfigurationController::pending_ready_time`]).
-    pending: HashMap<LoadedId, Cycles>,
+    /// Ready times of queued/streaming transfers, sorted by id for binary
+    /// search; on duplicate ids the first occurrence wins (FG port scanned
+    /// before CG, matching
+    /// [`ReconfigurationController::pending_ready_time`]). The queues are
+    /// short, so a flat sorted vector beats hashing every stage lookup.
+    pending: Vec<(LoadedId, Cycles)>,
 }
 
 impl ProfitMemo {
     /// Captures the port state of `controller` as seen at `now`.
     #[must_use]
     pub fn capture(controller: &ReconfigurationController, now: Cycles) -> Self {
-        let mut pending = HashMap::new();
+        let mut pending: Vec<(LoadedId, Cycles)> = Vec::new();
         for t in controller.inflight_tickets() {
-            pending.entry(t.id).or_insert(t.ready_at);
+            if !pending.iter().any(|(id, _)| *id == t.id) {
+                pending.push((t.id, t.ready_at));
+            }
         }
+        pending.sort_unstable_by_key(|(id, _)| *id);
         ProfitMemo {
             now,
             fg_base: now.max(controller.port_free_at(FabricKind::FineGrained)),
@@ -142,8 +146,11 @@ impl ProfitMemo {
         for stage in ise.stages() {
             if resident(stage.unit) {
                 ready_rel.push(Cycles::ZERO);
-            } else if let Some(&t) = self.pending.get(&stage.unit.as_loaded_id()) {
-                ready_rel.push(t - self.now);
+            } else if let Ok(i) = self
+                .pending
+                .binary_search_by_key(&stage.unit.as_loaded_id(), |(id, _)| *id)
+            {
+                ready_rel.push(self.pending[i].1 - self.now);
             } else {
                 let (base, acc) = match stage.fabric {
                     FabricKind::FineGrained => (self.fg_base, &mut fg_acc),
@@ -361,6 +368,18 @@ impl<'a> ExpectedProfitEval<'a> {
 }
 
 impl crate::selector::ProfitFn for ExpectedProfitEval<'_> {
+    /// Eq. 4's ceiling: at most `e` executions, each saving at most the
+    /// fully-configured ISE's `risc - full_latency` cycles (intermediate
+    /// stages save strictly less), whatever the reconfiguration schedule.
+    /// Valid for every commit round since profits only shrink (DESIGN §7).
+    fn upper_bound(&mut self, ise: &Ise, trigger: &TriggerInstruction) -> Option<f64> {
+        if !self.allow_mono && ise.is_mono_extension() {
+            return Some(0.0); // ablation: monoCG disabled entirely
+        }
+        let max_saving = (ise.risc_latency() - ise.full_latency()).get() as f64;
+        Some(trigger.expected_executions as f64 * max_saving)
+    }
+
     fn eval(
         &mut self,
         ise: &Ise,

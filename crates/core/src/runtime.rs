@@ -139,6 +139,11 @@ pub struct Mrts {
     /// the engine has applied it, so steady-state planning reuses its
     /// capacity instead of allocating per block.
     evict_buf: Vec<UnitId>,
+    /// Scratch: sorted loaded-ids resident at the current block's `now`.
+    /// Captured once per `plan_block` so the selector's and profit
+    /// function's residency probes are binary searches over a tiny sorted
+    /// slice instead of per-probe fabric scans.
+    resident_buf: Vec<u64>,
 }
 
 impl Mrts {
@@ -159,6 +164,7 @@ impl Mrts {
             total_kernels_selected: 0,
             faults_observed: 0,
             evict_buf: Vec::new(),
+            resident_buf: Vec::new(),
         }
     }
 
@@ -271,10 +277,18 @@ impl RuntimePolicy for Mrts {
             None => budget,
         };
 
-        // 3. The greedy selection (Fig. 6).
-        let machine = ctx.machine;
+        // 3. The greedy selection (Fig. 6). Residency at `now` is frozen
+        //    for the whole selection (the machine is not touched), so it is
+        //    captured once into a sorted id list; each probe is then a
+        //    binary search instead of a fabric-slot scan. The answers are
+        //    identical to `machine.is_resident(id, now)`.
         let now = ctx.now;
-        let resident = move |u: UnitId| machine.is_resident(u.as_loaded_id(), now);
+        let mut resident_ids = std::mem::take(&mut self.resident_buf);
+        resident_ids.clear();
+        resident_ids.extend(ctx.machine.fg().resident_ids(now));
+        resident_ids.extend(ctx.machine.cg().resident_ids(now));
+        resident_ids.sort_unstable();
+        let resident = |u: UnitId| resident_ids.binary_search(&u.as_loaded_id()).is_ok();
         let use_mono = self.config.ecu.use_mono_cg;
         // The memoizing evaluator captures the shadow port schedule once per
         // selection round and reuses its scratch buffers across candidates
@@ -290,6 +304,8 @@ impl RuntimePolicy for Mrts {
             &self.config.selector,
             &mut profit,
         );
+        drop(profit);
+        self.resident_buf = resident_ids;
 
         // 4. Pre-load monoCG-Extensions with the leftover CG budget (the
         //    ECU's bridging, see `mono_preload_units`).

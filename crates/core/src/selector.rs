@@ -42,7 +42,7 @@ use crate::profit::ExpectedProfitEval;
 use mrts_arch::{Cycles, LoadRequest, ReconfigurationController, Resources};
 use mrts_ise::{Ise, IseCatalog, IseId, KernelId, TriggerBlock, TriggerInstruction, UnitId};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Cost model of the selector itself (drives the Section 5.4 overhead
 /// accounting). Defaults are calibrated so a typical functional block
@@ -147,6 +147,23 @@ pub trait ProfitFn {
     /// The shadow controller is about to change (a candidate was
     /// committed); drop any memoized predictions.
     fn invalidate(&mut self) {}
+
+    /// A cheap, schedule-independent **upper bound** on what [`eval`] can
+    /// ever return for this candidate — valid for the initial shadow state
+    /// and (by the monotonicity contract) for every later round too.
+    ///
+    /// When an evaluator provides one, the lazy-greedy loop seeds its heap
+    /// with bounds instead of evaluating every candidate up front (CELF
+    /// with optimistic initialization): candidates whose bound never
+    /// reaches the top of the heap are never evaluated at all, and
+    /// a bound `<= 0` proves the candidate can never be selected. The
+    /// default `None` keeps the eager round-0 sweep, which is always safe.
+    ///
+    /// [`eval`]: ProfitFn::eval
+    fn upper_bound(&mut self, ise: &Ise, trigger: &TriggerInstruction) -> Option<f64> {
+        let _ = (ise, trigger);
+        None
+    }
 }
 
 impl<F> ProfitFn for F
@@ -194,37 +211,74 @@ pub fn select_ises(
     )
 }
 
+/// One candidate ISE paired with its forecast trigger, resolved once at
+/// list-build time (the former per-evaluation `trigger_for` linear scan).
+#[derive(Clone, Copy)]
+struct Candidate<'a> {
+    ise: &'a Ise,
+    trigger: &'a TriggerInstruction,
+}
+
 /// Mutable greedy state shared by the lazy and full-rescan paths.
 struct GreedyState<'c> {
     catalog: &'c IseCatalog,
     now: Cycles,
     shadow: ReconfigurationController,
     remaining: Resources,
-    selected_kernels: HashSet<KernelId>,
+    /// Kernels already served (step 4's removal). A handful at most, so a
+    /// linear scan beats hashing.
+    selected_kernels: Vec<KernelId>,
+    /// Sorted ids of every transfer queued or streaming on the shadow
+    /// ports: the initial in-flight set plus everything committed so far.
+    /// Mirrors `shadow.pending_ready_time(id).is_some()` exactly — nothing
+    /// is ever removed during a selection (the shadow is never settled) —
+    /// but answers in O(log n) instead of scanning both port queues.
+    pending_ids: Vec<u64>,
     selected: Vec<SelectedIse>,
     load_order: Vec<UnitId>,
 }
 
 impl GreedyState<'_> {
+    /// Whether artefact `id` is queued or streaming on the shadow ports.
+    fn is_pending(&self, id: u64) -> bool {
+        self.pending_ids.binary_search(&id).is_ok()
+    }
+
+    /// Records that `id` is now queued on the shadow ports.
+    fn note_pending(&mut self, id: u64) {
+        if let Err(pos) = self.pending_ids.binary_search(&id) {
+            self.pending_ids.insert(pos, id);
+        }
+    }
+
+    /// Resources a candidate still needs: units neither resident nor
+    /// already streaming (same answer as the former per-stage
+    /// `pending_ready_time` queue scan).
+    fn new_demand(&self, ise: &Ise, resident: &dyn Fn(UnitId) -> bool) -> Resources {
+        let mut cg = 0u16;
+        let mut prc = 0u16;
+        for s in ise.stages() {
+            if !resident(s.unit) && !self.is_pending(s.unit.as_loaded_id()) {
+                match s.fabric {
+                    mrts_arch::FabricKind::FineGrained => prc += 1,
+                    mrts_arch::FabricKind::CoarseGrained => cg += 1,
+                }
+            }
+        }
+        Resources::cg_only(cg) + Resources::prc_only(prc)
+    }
+
     /// Step 4 of Fig. 6: commit one winner — update hardware status,
     /// stream the new units.
     fn commit(&mut self, ise: &Ise, profit: f64, resident: &dyn Fn(UnitId) -> bool) {
         let new_units: Vec<UnitId> = ise
             .stages()
             .iter()
-            .filter(|s| {
-                !resident(s.unit)
-                    && self
-                        .shadow
-                        .pending_ready_time(s.unit.as_loaded_id())
-                        .is_none()
-            })
+            .filter(|s| !resident(s.unit) && !self.is_pending(s.unit.as_loaded_id()))
             .map(|s| s.unit)
             .collect();
-        // O(1) membership instead of the former O(stages²) `Vec::contains`.
-        let new_set: HashSet<UnitId> = new_units.iter().copied().collect();
         for stage in ise.stages() {
-            if new_set.contains(&stage.unit) {
+            if new_units.contains(&stage.unit) {
                 self.shadow.request(
                     self.now,
                     LoadRequest {
@@ -235,12 +289,15 @@ impl GreedyState<'_> {
                 );
             }
         }
+        for u in &new_units {
+            self.note_pending(u.as_loaded_id());
+        }
         let demand: Resources = new_units
             .iter()
             .map(|u| self.catalog.unit(*u).resources())
             .sum();
         self.remaining = self.remaining.saturating_sub(demand);
-        self.selected_kernels.insert(ise.kernel());
+        self.selected_kernels.push(ise.kernel());
         self.load_order.extend(new_units.iter().copied());
         self.selected.push(SelectedIse {
             kernel: ise.kernel(),
@@ -253,9 +310,14 @@ impl GreedyState<'_> {
     /// Step 2 of Fig. 6: whether a candidate is still admissible.
     fn admissible(&self, ise: &Ise, resident: &dyn Fn(UnitId) -> bool) -> bool {
         !self.selected_kernels.contains(&ise.kernel())
-            && new_demand(ise, resident, &self.shadow).fits_in(self.remaining)
+            && self.new_demand(ise, resident).fits_in(self.remaining)
     }
 }
+
+/// Round stamp marking a heap entry seeded from [`ProfitFn::upper_bound`]:
+/// never equal to a real commit round, so such entries are always treated
+/// as stale (their key is an upper bound, not an evaluated profit).
+const BOUND_ROUND: u64 = u64::MAX;
 
 /// Heap entry of the lazy-greedy priority queue. Ordered by (profit
 /// descending, [`IseId`] ascending) — the exact arg-max order of the
@@ -263,8 +325,11 @@ impl GreedyState<'_> {
 struct LazyEntry<'a> {
     profit: f64,
     ise: &'a Ise,
+    /// Index into the candidate list (for the per-round demand cache).
+    idx: usize,
     /// Commit round the profit was evaluated in; an entry is *fresh* iff
-    /// its round equals the current one.
+    /// its round equals the current one. [`BOUND_ROUND`] marks entries
+    /// seeded from an upper bound, which are never fresh.
     round: u64,
 }
 
@@ -306,38 +371,38 @@ pub fn select_ises_with(
     profit: &mut dyn ProfitFn,
 ) -> Selection {
     // Step 1: candidate list of all ISEs of all forecast kernels
-    // (optionally restricted to the Pareto-efficient variants).
-    let mut candidates: Vec<&Ise> = if config.prune_dominated {
-        forecast
-            .iter()
-            .flat_map(|t| catalog.pareto_ises_of(t.kernel))
-            .map(|id| catalog.ise(id).expect("catalogue ids are dense"))
-            .collect()
-    } else {
-        forecast
-            .iter()
-            .flat_map(|t| catalog.ises_of(t.kernel))
-            .map(|id| catalog.ise(*id).expect("catalogue ids are dense"))
-            .collect()
-    };
+    // (optionally restricted to the Pareto-efficient variants), each paired
+    // with its trigger once instead of a per-evaluation forecast scan.
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for trigger in forecast.iter() {
+        if config.prune_dominated {
+            for id in catalog.pareto_ises_of(trigger.kernel) {
+                let ise = catalog.ise(id).expect("catalogue ids are dense");
+                candidates.push(Candidate { ise, trigger });
+            }
+        } else {
+            for id in catalog.ises_of(trigger.kernel) {
+                let ise = catalog.ise(*id).expect("catalogue ids are dense");
+                candidates.push(Candidate { ise, trigger });
+            }
+        }
+    }
 
+    let mut pending_ids: Vec<u64> = controller.inflight_tickets().map(|t| t.id).collect();
+    pending_ids.sort_unstable();
+    pending_ids.dedup();
     let mut state = GreedyState {
         catalog,
         now,
         shadow: controller.clone(),
         remaining: budget,
-        selected_kernels: HashSet::new(),
+        selected_kernels: Vec::new(),
+        pending_ids,
         selected: Vec::new(),
         load_order: Vec::new(),
     };
     let mut evaluated = 0u64;
     let mut modeled = 0u64;
-
-    let trigger_of = |ise: &Ise| -> &TriggerInstruction {
-        forecast
-            .trigger_for(ise.kernel())
-            .expect("candidate kernels come from the forecast")
-    };
 
     if config.full_rescan {
         // The literal Fig. 6 loop: re-evaluate every surviving candidate on
@@ -347,7 +412,7 @@ pub fn select_ises_with(
             // are free, so only genuinely new units count against the
             // budget), and candidates of already-served kernels (step 4's
             // removal).
-            candidates.retain(|ise| state.admissible(ise, resident));
+            candidates.retain(|c| state.admissible(c.ise, resident));
             if candidates.is_empty() {
                 break;
             }
@@ -357,8 +422,8 @@ pub fn select_ises_with(
             // already queued in the shadow controller, so sharing is
             // accounted for).
             let mut best: Option<(usize, f64)> = None;
-            for (i, ise) in candidates.iter().enumerate() {
-                let p = profit.eval(ise, trigger_of(ise), &state.shadow);
+            for (i, c) in candidates.iter().enumerate() {
+                let p = profit.eval(c.ise, c.trigger, &state.shadow);
                 evaluated += 1;
                 if p <= 0.0 {
                     continue; // an unprofitable ISE is never worth its fabric
@@ -367,7 +432,8 @@ pub fn select_ises_with(
                     None => true,
                     Some((bi, bp)) => {
                         p > bp + f64::EPSILON
-                            || ((p - bp).abs() <= f64::EPSILON && ise.id() < candidates[bi].id())
+                            || ((p - bp).abs() <= f64::EPSILON
+                                && c.ise.id() < candidates[bi].ise.id())
                     }
                 };
                 if better {
@@ -377,33 +443,76 @@ pub fn select_ises_with(
             let Some((best_idx, best_profit)) = best else {
                 break; // nothing profitable remains
             };
-            let winner = candidates[best_idx];
+            let winner = candidates[best_idx].ise;
             state.commit(winner, best_profit, resident);
             profit.invalidate();
         }
         modeled = evaluated;
     } else {
         // Lazy-greedy (CELF): identical output, far fewer evaluations.
-        // Round 0 mirrors the reference loop's first sweep exactly; later
-        // rounds only re-evaluate candidates whose stale keys still top the
-        // heap. `candidates` doubles as the cost-model replica of the
-        // reference candidate list so `modeled` matches the full re-scan
-        // count round for round.
-        candidates.retain(|ise| state.admissible(ise, resident));
-        if !candidates.is_empty() {
-            modeled += candidates.len() as u64;
+        // The heap is seeded with each candidate's static profit upper
+        // bound when the evaluator provides one (a bound that never tops
+        // the heap is never evaluated at all); otherwise with its eagerly
+        // evaluated round-0 profit, mirroring the reference loop's first
+        // sweep. `alive` is the cost-model replica of the reference
+        // candidate list so `modeled` matches the full re-scan count round
+        // for round; the per-candidate demand cache makes each replica
+        // round a stamped-cache sweep instead of a port-queue scan.
+        let mut alive: Vec<usize> = (0..candidates.len())
+            .filter(|&i| state.admissible(candidates[i].ise, resident))
+            .collect();
+        // Per-candidate (stamp, demand): demand is constant within a commit
+        // round — residency is fixed for the whole selection and the shadow
+        // ports only gain transfers at commits — so a cached value is valid
+        // until the next commit bumps the stamp.
+        let mut demand_cache: Vec<(u64, Resources)> =
+            vec![(0, Resources::NONE); candidates.len()];
+        let admissible_cached = |state: &GreedyState,
+                                     cache: &mut Vec<(u64, Resources)>,
+                                     idx: usize,
+                                     stamp: u64|
+         -> bool {
+            let c = &candidates[idx];
+            if state.selected_kernels.contains(&c.ise.kernel()) {
+                return false;
+            }
+            let slot = &mut cache[idx];
+            if slot.0 != stamp {
+                *slot = (stamp, state.new_demand(c.ise, resident));
+            }
+            slot.1.fits_in(state.remaining)
+        };
+        if !alive.is_empty() {
+            modeled += alive.len() as u64;
             let mut round = 0u64;
-            let mut heap: BinaryHeap<LazyEntry> = BinaryHeap::with_capacity(candidates.len());
-            for &ise in &candidates {
-                let p = profit.eval(ise, trigger_of(ise), &state.shadow);
-                evaluated += 1;
-                debug_assert!(!p.is_nan(), "profit of {} is NaN", ise.id());
-                if p > 0.0 {
-                    heap.push(LazyEntry {
-                        profit: p,
-                        ise,
-                        round,
-                    });
+            let mut heap: BinaryHeap<LazyEntry> = BinaryHeap::with_capacity(alive.len());
+            for &i in &alive {
+                let c = &candidates[i];
+                match profit.upper_bound(c.ise, c.trigger) {
+                    Some(bound) => {
+                        debug_assert!(!bound.is_nan(), "bound of {} is NaN", c.ise.id());
+                        if bound > 0.0 {
+                            heap.push(LazyEntry {
+                                profit: bound,
+                                ise: c.ise,
+                                idx: i,
+                                round: BOUND_ROUND,
+                            });
+                        }
+                    }
+                    None => {
+                        let p = profit.eval(c.ise, c.trigger, &state.shadow);
+                        evaluated += 1;
+                        debug_assert!(!p.is_nan(), "profit of {} is NaN", c.ise.id());
+                        if p > 0.0 {
+                            heap.push(LazyEntry {
+                                profit: p,
+                                ise: c.ise,
+                                idx: i,
+                                round,
+                            });
+                        }
+                    }
                 }
             }
             loop {
@@ -413,13 +522,13 @@ pub fn select_ises_with(
                     let Some(top) = heap.pop() else { break None };
                     // Kernels never regain admissibility and the budget
                     // only shrinks: inadmissible entries are gone for good.
-                    if !state.admissible(top.ise, resident) {
+                    if !admissible_cached(&state, &mut demand_cache, top.idx, round + 1) {
                         continue;
                     }
                     if top.round == round {
                         break Some(top);
                     }
-                    let p = profit.eval(top.ise, trigger_of(top.ise), &state.shadow);
+                    let p = profit.eval(top.ise, candidates[top.idx].trigger, &state.shadow);
                     evaluated += 1;
                     debug_assert!(
                         p <= top.profit + 1e-6 + top.profit.abs() * 1e-9,
@@ -434,6 +543,7 @@ pub fn select_ises_with(
                     let fresh = LazyEntry {
                         profit: p,
                         ise: top.ise,
+                        idx: top.idx,
                         round,
                     };
                     // A fresh key that still beats the next (stale ⇒ upper
@@ -449,22 +559,27 @@ pub fn select_ises_with(
                 round += 1;
                 // Cost-model replica of the reference loop's next round:
                 // same retain, same per-survivor evaluation charge.
-                candidates.retain(|ise| state.admissible(ise, resident));
-                if candidates.is_empty() {
+                alive.retain(|&i| admissible_cached(&state, &mut demand_cache, i, round + 1));
+                if alive.is_empty() {
                     break;
                 }
-                modeled += candidates.len() as u64;
+                modeled += alive.len() as u64;
             }
         }
     }
 
-    // Kernel → selection map instead of the former O(kernels × selected)
-    // nested scan.
-    let by_kernel: HashMap<KernelId, IseId> =
-        state.selected.iter().map(|s| (s.kernel, s.ise)).collect();
+    // Selections are one per kernel and few: a linear scan per forecast
+    // kernel beats building a hash map.
     let choices = forecast
         .iter()
-        .map(|t| (t.kernel, by_kernel.get(&t.kernel).copied()))
+        .map(|t| {
+            let sel = state
+                .selected
+                .iter()
+                .find(|s| s.kernel == t.kernel)
+                .map(|s| s.ise);
+            (t.kernel, sel)
+        })
         .collect();
     let total_profit = state.selected.iter().map(|s| s.profit).sum();
     let overhead_cycles = Cycles::new(
@@ -480,28 +595,6 @@ pub fn select_ises_with(
         modeled_evaluations: modeled,
         overhead_cycles,
     }
-}
-
-/// Resources a candidate still needs: units neither resident nor already
-/// streaming.
-fn new_demand(
-    ise: &Ise,
-    resident: &dyn Fn(UnitId) -> bool,
-    controller: &ReconfigurationController,
-) -> Resources {
-    ise.stages()
-        .iter()
-        .filter(|s| {
-            !resident(s.unit)
-                && controller
-                    .pending_ready_time(s.unit.as_loaded_id())
-                    .is_none()
-        })
-        .map(|s| match s.fabric {
-            mrts_arch::FabricKind::FineGrained => Resources::prc_only(1),
-            mrts_arch::FabricKind::CoarseGrained => Resources::cg_only(1),
-        })
-        .sum()
 }
 
 #[cfg(test)]
