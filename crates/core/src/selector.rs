@@ -458,30 +458,30 @@ pub fn select_ises_with(
         // candidate list so `modeled` matches the full re-scan count round
         // for round; the per-candidate demand cache makes each replica
         // round a stamped-cache sweep instead of a port-queue scan.
+        // Per-candidate demand, computed once and valid for the *whole*
+        // selection: residency is frozen while the machine is untouched,
+        // and the pending set only grows with committed units — which
+        // belong to the committed kernel and are never shared with another
+        // kernel's candidates (the same no-shared-load-units invariant the
+        // lazy-greedy monotonicity argument rests on). Candidates of the
+        // committed kernel itself are removed by the `selected_kernels`
+        // check before the cache is consulted, so a stale entry is never
+        // read. Each admissibility probe is then a tiny kernel scan plus
+        // one `fits_in` compare.
+        let mut demand_cache: Vec<Option<Resources>> = vec![None; candidates.len()];
+        let admissible_cached =
+            |state: &GreedyState, cache: &mut Vec<Option<Resources>>, idx: usize| -> bool {
+                let c = &candidates[idx];
+                if state.selected_kernels.contains(&c.ise.kernel()) {
+                    return false;
+                }
+                cache[idx]
+                    .get_or_insert_with(|| state.new_demand(c.ise, resident))
+                    .fits_in(state.remaining)
+            };
         let mut alive: Vec<usize> = (0..candidates.len())
-            .filter(|&i| state.admissible(candidates[i].ise, resident))
+            .filter(|&i| admissible_cached(&state, &mut demand_cache, i))
             .collect();
-        // Per-candidate (stamp, demand): demand is constant within a commit
-        // round — residency is fixed for the whole selection and the shadow
-        // ports only gain transfers at commits — so a cached value is valid
-        // until the next commit bumps the stamp.
-        let mut demand_cache: Vec<(u64, Resources)> =
-            vec![(0, Resources::NONE); candidates.len()];
-        let admissible_cached = |state: &GreedyState,
-                                     cache: &mut Vec<(u64, Resources)>,
-                                     idx: usize,
-                                     stamp: u64|
-         -> bool {
-            let c = &candidates[idx];
-            if state.selected_kernels.contains(&c.ise.kernel()) {
-                return false;
-            }
-            let slot = &mut cache[idx];
-            if slot.0 != stamp {
-                *slot = (stamp, state.new_demand(c.ise, resident));
-            }
-            slot.1.fits_in(state.remaining)
-        };
         if !alive.is_empty() {
             modeled += alive.len() as u64;
             let mut round = 0u64;
@@ -522,7 +522,7 @@ pub fn select_ises_with(
                     let Some(top) = heap.pop() else { break None };
                     // Kernels never regain admissibility and the budget
                     // only shrinks: inadmissible entries are gone for good.
-                    if !admissible_cached(&state, &mut demand_cache, top.idx, round + 1) {
+                    if !admissible_cached(&state, &mut demand_cache, top.idx) {
                         continue;
                     }
                     if top.round == round {
@@ -559,7 +559,7 @@ pub fn select_ises_with(
                 round += 1;
                 // Cost-model replica of the reference loop's next round:
                 // same retain, same per-survivor evaluation charge.
-                alive.retain(|&i| admissible_cached(&state, &mut demand_cache, i, round + 1));
+                alive.retain(|&i| admissible_cached(&state, &mut demand_cache, i));
                 if alive.is_empty() {
                     break;
                 }

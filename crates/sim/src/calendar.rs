@@ -1,0 +1,364 @@
+//! A calendar (bucket) queue for residency boundaries.
+//!
+//! The [`Timeline`](crate::timeline::Timeline) rebuilds its boundary queue
+//! per functional block: a burst of out-of-order inserts (completions of
+//! in-flight loads plus the block's own plan), then per-kernel monotone
+//! forward scans, with occasional mid-scan inserts (monoCG installs). The
+//! original queue was a sorted `Vec` with `binary_search` + `insert` — an
+//! O(n) memmove per insert that the stress benchmark
+//! (`bench_suite` → `timeline_insert_ns`) shows going quadratic on large
+//! blocks.
+//!
+//! [`BoundaryQueue`] keeps the exact same observable semantics (ascending
+//! dedup'd drain order, `false` on duplicate insert, monotone cursor
+//! scans) but takes inserts in O(1): timestamps are dropped into
+//! power-of-two-width cycle buckets (width 2^[`BUCKET_SHIFT`], direct
+//! mapped from the first-seen timestamp, far-future times sharing the
+//! overflow bucket) and each bucket is sorted only when a scan actually
+//! needs the total order. Because bucket index is monotone in the
+//! timestamp, draining buckets in index order after a per-bucket sort
+//! yields globally sorted output, which is merged into the settled run
+//! with one backward in-place merge. All scratch capacity is retained
+//! across blocks, so steady-state operation allocates nothing.
+
+use mrts_arch::Cycles;
+
+/// log2 of the bucket width in cycles. 4096-cycle buckets: fine enough
+/// that a block's boundaries spread across many buckets, coarse enough
+/// that typical reconfiguration spans stay inside the direct-mapped range.
+const BUCKET_SHIFT: u32 = 12;
+
+/// Number of direct-mapped buckets; timestamps beyond
+/// `base + NUM_BUCKETS << BUCKET_SHIFT` share the last (overflow) bucket.
+const NUM_BUCKETS: usize = 64;
+
+/// Calendar queue of distinct [`Cycles`] timestamps with sorted-Vec
+/// semantics: duplicate inserts are rejected, scans see ascending order.
+#[derive(Debug)]
+pub struct BoundaryQueue {
+    /// First-seen timestamp's bucket index (`t >> BUCKET_SHIFT`); buckets
+    /// are addressed relative to it. `u64::MAX` = unset (empty block).
+    base_bucket: u64,
+    /// The calendar: unsorted per-bucket timestamp lists, filled on
+    /// insert, drained (sorted) on settle.
+    buckets: Vec<Vec<Cycles>>,
+    /// Total timestamps currently sitting in `buckets`.
+    unsettled: usize,
+    /// The settled run: ascending, deduplicated, what cursors walk.
+    sorted: Vec<Cycles>,
+    /// Reused drain buffer for settling (retains capacity across blocks).
+    scratch: Vec<Cycles>,
+}
+
+impl Default for BoundaryQueue {
+    fn default() -> Self {
+        BoundaryQueue {
+            base_bucket: u64::MAX,
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            unsettled: 0,
+            sorted: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl BoundaryQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        BoundaryQueue::default()
+    }
+
+    /// Empties the queue for a new block, keeping every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.base_bucket = u64::MAX;
+        if self.unsettled > 0 {
+            for b in &mut self.buckets {
+                b.clear();
+            }
+            self.unsettled = 0;
+        }
+        self.sorted.clear();
+    }
+
+    /// The bucket a timestamp maps to. Timestamps below the base (possible
+    /// when the first insert was not the smallest) fold into bucket 0,
+    /// which is sound: bucket 0 then holds the globally smallest values
+    /// and the per-bucket sort restores their order.
+    fn bucket_of(&self, t: Cycles) -> usize {
+        let b = (t.get() >> BUCKET_SHIFT).saturating_sub(self.base_bucket);
+        usize::try_from(b).map_or(NUM_BUCKETS - 1, |b| b.min(NUM_BUCKETS - 1))
+    }
+
+    /// Inserts a timestamp; returns `false` (and changes nothing) if it is
+    /// already queued.
+    pub fn insert(&mut self, t: Cycles) -> bool {
+        if self.sorted.binary_search(&t).is_ok() {
+            return false;
+        }
+        if self.base_bucket == u64::MAX {
+            self.base_bucket = t.get() >> BUCKET_SHIFT;
+        }
+        let i = self.bucket_of(t);
+        if self.buckets[i].contains(&t) {
+            return false;
+        }
+        self.buckets[i].push(t);
+        self.unsettled += 1;
+        true
+    }
+
+    /// Number of distinct timestamps queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len() + self.unsettled
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds every bucketed timestamp into the settled run: sort each
+    /// non-empty bucket, drain them in index order (globally sorted, since
+    /// bucket index is monotone in the timestamp), then one backward
+    /// in-place merge with the existing run.
+    fn settle(&mut self) {
+        if self.unsettled == 0 {
+            return;
+        }
+        self.scratch.clear();
+        for b in &mut self.buckets {
+            if !b.is_empty() {
+                b.sort_unstable();
+                self.scratch.append(b);
+            }
+        }
+        self.unsettled = 0;
+        debug_assert!(self.scratch.windows(2).all(|w| w[0] < w[1]));
+        if self.sorted.is_empty() {
+            std::mem::swap(&mut self.sorted, &mut self.scratch);
+            return;
+        }
+        // Backward two-run merge; no equal pair can exist across the runs
+        // (insert rejects duplicates against both), so stability is moot.
+        let (n, m) = (self.sorted.len(), self.scratch.len());
+        self.sorted.resize(n + m, Cycles::ZERO);
+        let (mut i, mut j) = (n, m);
+        for k in (0..n + m).rev() {
+            if j == 0 || (i > 0 && self.sorted[i - 1] > self.scratch[j - 1]) {
+                i -= 1;
+                self.sorted[k] = self.sorted[i];
+            } else {
+                j -= 1;
+                self.sorted[k] = self.scratch[j];
+            }
+            if j == 0 && i == k {
+                break; // prefix already in place
+            }
+        }
+    }
+
+    /// The earliest timestamp strictly after `t`, with `cursor` as a
+    /// monotone scan hint (see
+    /// [`Timeline::next_boundary_after`](crate::timeline::Timeline::next_boundary_after)).
+    pub fn next_after(&mut self, t: Cycles, cursor: &mut usize) -> Option<Cycles> {
+        self.settle();
+        let mut i = (*cursor).min(self.sorted.len());
+        // In the common case the hint is already correct or one step away;
+        // a straggling hint catches up via the same forward walk the
+        // monotone cursor argument guarantees is amortised O(1).
+        while i < self.sorted.len() && self.sorted[i] <= t {
+            i += 1;
+        }
+        debug_assert_eq!(
+            i,
+            self.sorted.partition_point(|b| *b <= t).max(*cursor),
+            "cursor hint fell behind a boundary insertion"
+        );
+        *cursor = i;
+        self.sorted.get(i).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn c(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    /// The pre-calendar implementation, kept verbatim as the oracle.
+    #[derive(Default)]
+    struct SortedVecOracle {
+        boundaries: Vec<Cycles>,
+    }
+
+    impl SortedVecOracle {
+        fn insert(&mut self, t: Cycles) -> bool {
+            match self.boundaries.binary_search(&t) {
+                Ok(_) => false,
+                Err(pos) => {
+                    self.boundaries.insert(pos, t);
+                    true
+                }
+            }
+        }
+
+        fn next_after(&self, t: Cycles, cursor: &mut usize) -> Option<Cycles> {
+            let i = self.boundaries.partition_point(|b| *b <= t).max(*cursor);
+            *cursor = i;
+            self.boundaries.get(i).copied()
+        }
+    }
+
+    /// Runs the same insert sequence through both queues, checking insert
+    /// return values, then drains both via cursor walks and checks order.
+    fn check_against_oracle(values: &[u64]) {
+        let mut q = BoundaryQueue::new();
+        let mut oracle = SortedVecOracle::default();
+        for &v in values {
+            assert_eq!(q.insert(c(v)), oracle.insert(c(v)), "insert({v})");
+        }
+        assert_eq!(q.len(), oracle.boundaries.len());
+        let (mut qc, mut oc) = (0, 0);
+        let mut t = Cycles::ZERO;
+        // Walk from 0; also probe time-0 itself (strict `>` semantics).
+        let first = q.next_after(Cycles::ZERO, &mut qc.clone());
+        assert_eq!(
+            first,
+            oracle.next_after(Cycles::ZERO, &mut oc.clone()),
+            "first boundary"
+        );
+        loop {
+            let a = q.next_after(t, &mut qc);
+            let b = oracle.next_after(t, &mut oc);
+            assert_eq!(a, b, "drain after {t:?}");
+            match a {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn same_cycle_dedup_regression() {
+        // Two loads completing on the same cycle must queue one boundary:
+        // the second insert reports a duplicate and the count is unchanged.
+        let mut q = BoundaryQueue::new();
+        assert!(q.insert(c(500)));
+        assert!(!q.insert(c(500)));
+        assert_eq!(q.len(), 1);
+        // Duplicate against the *settled* run (post-scan) too.
+        let mut cur = 0;
+        assert_eq!(q.next_after(c(0), &mut cur), Some(c(500)));
+        assert!(!q.insert(c(500)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_after(c(500), &mut cur), None);
+    }
+
+    #[test]
+    fn below_base_and_overflow_inserts() {
+        let mut q = BoundaryQueue::new();
+        // First insert fixes the base; a smaller timestamp folds into
+        // bucket 0 and a far-future one into the overflow bucket.
+        assert!(q.insert(c(1 << 20)));
+        assert!(q.insert(c(3)));
+        assert!(q.insert(c(1 << 40)));
+        assert!(q.insert(c((1 << 40) + 1)));
+        let mut cur = 0;
+        assert_eq!(q.next_after(c(0), &mut cur), Some(c(3)));
+        assert_eq!(q.next_after(c(3), &mut cur), Some(c(1 << 20)));
+        assert_eq!(q.next_after(c(1 << 20), &mut cur), Some(c(1 << 40)));
+        assert_eq!(q.next_after(c(1 << 40), &mut cur), Some(c((1 << 40) + 1)));
+        assert_eq!(q.next_after(c((1 << 40) + 1), &mut cur), None);
+    }
+
+    #[test]
+    fn mid_scan_insert_is_seen_by_fresh_cursor() {
+        let mut q = BoundaryQueue::new();
+        q.insert(c(100));
+        q.insert(c(300));
+        let mut cur = 0;
+        assert_eq!(q.next_after(c(0), &mut cur), Some(c(100)));
+        // A monoCG install lands mid-walk, beyond the scan point.
+        assert!(q.insert(c(200)));
+        assert_eq!(q.next_after(c(100), &mut cur), Some(c(200)));
+        assert_eq!(q.next_after(c(200), &mut cur), Some(c(300)));
+        // A second kernel's fresh cursor sees all three in order.
+        let mut cur2 = 0;
+        assert_eq!(q.next_after(c(0), &mut cur2), Some(c(100)));
+        assert_eq!(q.next_after(c(100), &mut cur2), Some(c(200)));
+        assert_eq!(q.next_after(c(200), &mut cur2), Some(c(300)));
+    }
+
+    #[test]
+    fn clear_resets_for_next_block() {
+        let mut q = BoundaryQueue::new();
+        q.insert(c(1 << 30));
+        let mut cur = 0;
+        assert_eq!(q.next_after(c(0), &mut cur), Some(c(1 << 30)));
+        q.clear();
+        assert!(q.is_empty());
+        // Re-used queue re-bases on the new block's (much smaller) times.
+        assert!(q.insert(c(7)));
+        let mut cur = 0;
+        assert_eq!(q.next_after(c(0), &mut cur), Some(c(7)));
+        assert_eq!(q.next_after(c(7), &mut cur), None);
+    }
+
+    proptest! {
+        /// Random sparse inserts (spread far past the direct-mapped range,
+        /// exercising the overflow bucket): identical dedup verdicts and
+        /// drain order vs the sorted-Vec oracle.
+        #[test]
+        fn oracle_equivalence_sparse(vals in prop::collection::vec(any::<u32>(), 0..120)) {
+            let vals: Vec<u64> = vals.iter().map(|&v| u64::from(v)).collect();
+            check_against_oracle(&vals);
+        }
+
+        /// Dense inserts (small range, many same-bucket and exact-duplicate
+        /// collisions): identical dedup verdicts and drain order.
+        #[test]
+        fn oracle_equivalence_dense(vals in prop::collection::vec(any::<u32>(), 0..120)) {
+            let vals: Vec<u64> = vals.iter().map(|&v| u64::from(v % 97)).collect();
+            check_against_oracle(&vals);
+        }
+
+        /// Interleaved insert-during-drain: after each drained boundary,
+        /// maybe insert a new future timestamp; both queues must keep
+        /// agreeing on the remaining drain order.
+        #[test]
+        fn oracle_equivalence_interleaved(
+            vals in prop::collection::vec(any::<u32>(), 1..60),
+            extra in prop::collection::vec(any::<u32>(), 1..20),
+        ) {
+            let mut q = BoundaryQueue::new();
+            let mut oracle = SortedVecOracle::default();
+            for &v in &vals {
+                let v = u64::from(v % 10_000);
+                prop_assert_eq!(q.insert(c(v)), oracle.insert(c(v)));
+            }
+            let (mut qc, mut oc) = (0, 0);
+            let mut t = Cycles::ZERO;
+            let mut extras = extra.iter();
+            loop {
+                let a = q.next_after(t, &mut qc);
+                let b = oracle.next_after(t, &mut oc);
+                prop_assert_eq!(a, b);
+                let Some(next) = a else { break };
+                if let Some(&e) = extras.next() {
+                    // Mid-scan inserts always land beyond the scan point
+                    // (monoCG completion times exceed `now`).
+                    let v = next.get() + 1 + u64::from(e % 5_000);
+                    prop_assert_eq!(q.insert(c(v)), oracle.insert(c(v)));
+                }
+                t = next;
+            }
+            prop_assert_eq!(q.len(), oracle.boundaries.len());
+        }
+    }
+}

@@ -20,7 +20,7 @@
 //! plus the run-time system's own decision overhead — the quantity whose
 //! differences Eq. 5 maximizes.
 
-use crate::policy::{ExecContext, ExecMode, FaultEvent, RuntimePolicy, SelectionContext};
+use crate::policy::{ExecContext, ExecMode, FaultEvent, RuntimePolicy, SelectionContext, SelectionIndex};
 use crate::stats::{BlockStats, ExecClass, RunStats};
 use crate::timeline::{EventSink, RejectReason, SimEvent, Timeline};
 use mrts_arch::{ArchError, Cycles, FabricKind, FaultKind, Machine};
@@ -56,6 +56,45 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Per-kernel epoch batches in structure-of-arrays form: one row per
+/// [`SimEvent::ExecBatch`]-shaped burst of constant-latency executions,
+/// buffered while the kernel walks its residency epochs and folded into
+/// [`RunStats`] once per kernel with bulk arithmetic
+/// ([`crate::stats::KernelStats::record_batch`]). The columns are scratch
+/// owned by the [`Simulator`], so steady-state stepping allocates nothing.
+#[derive(Debug, Default)]
+struct EpochBatches {
+    /// Execution class of each batch.
+    classes: Vec<ExecClass>,
+    /// Executions in each batch.
+    executions: Vec<u64>,
+    /// Per-execution latency of each batch.
+    per_exec_cycles: Vec<Cycles>,
+    /// Whether the batch is the RISC re-execution of a corrupted
+    /// accelerated execution (drives the degraded/recovery counters).
+    fault_marks: Vec<bool>,
+}
+
+impl EpochBatches {
+    fn clear(&mut self) {
+        self.classes.clear();
+        self.executions.clear();
+        self.per_exec_cycles.clear();
+        self.fault_marks.clear();
+    }
+
+    fn push(&mut self, class: ExecClass, n: u64, latency: Cycles, fault: bool) {
+        self.classes.push(class);
+        self.executions.push(n);
+        self.per_exec_cycles.push(latency);
+        self.fault_marks.push(fault);
+    }
+
+    fn fault_count(&self) -> u64 {
+        self.fault_marks.iter().filter(|&&m| m).count() as u64
+    }
+}
+
 /// The simulator: machine state plus the [`Timeline`] (clock, residency
 /// boundary queue and event spine).
 #[derive(Debug)]
@@ -64,6 +103,12 @@ pub struct Simulator<'a> {
     machine: Machine,
     timeline: Timeline,
     recovery: RecoveryConfig,
+    /// SoA scratch for the per-kernel epoch walk (capacity reused across
+    /// kernels and blocks).
+    batches: EpochBatches,
+    /// Scratch for the per-block kernel → selection index (capacity reused
+    /// across blocks).
+    sel_index: SelectionIndex,
 }
 
 impl<'a> Simulator<'a> {
@@ -75,6 +120,8 @@ impl<'a> Simulator<'a> {
             machine,
             timeline: Timeline::new(),
             recovery: RecoveryConfig::default(),
+            batches: EpochBatches::default(),
+            sel_index: SelectionIndex::default(),
         }
     }
 
@@ -267,8 +314,11 @@ impl<'a> Simulator<'a> {
         }
 
         // Kernel → selection, resolved once per block (the former
-        // per-kernel linear scan over `plan.selections` is gone).
-        let selections = plan.selection_index();
+        // per-kernel linear scan over `plan.selections` is gone). The
+        // index is owned scratch, taken for the duration of the kernel
+        // loop and handed back afterwards.
+        let mut selections = std::mem::take(&mut self.sel_index);
+        selections.rebuild(&plan);
 
         let mut makespan = Cycles::ZERO;
         let mut busy = Cycles::ZERO;
@@ -284,6 +334,7 @@ impl<'a> Simulator<'a> {
             makespan = makespan.max(finish - t0);
         }
         makespan = makespan.max(plan.overhead);
+        self.sel_index = selections;
 
         stats.blocks.push(BlockStats {
             block: activation.block,
@@ -327,8 +378,8 @@ impl<'a> Simulator<'a> {
         let risc = kernel.risc_latency();
         let mut t = start_base + activity.first_delay;
         let mut remaining = activity.executions;
-        let mut busy = Cycles::ZERO;
         let mut cursor = 0usize;
+        self.batches.clear();
 
         while remaining > 0 {
             self.machine.settle(t);
@@ -379,11 +430,7 @@ impl<'a> Simulator<'a> {
             if let Some(k) = fault_at {
                 // `k` executions complete normally...
                 if k > 0 {
-                    stats
-                        .kernels
-                        .entry(activity.kernel)
-                        .or_default()
-                        .record(class, k, latency);
+                    self.batches.push(class, k, latency, false);
                     self.timeline.emit_with(t, || SimEvent::ExecBatch {
                         at: t,
                         kernel: activity.kernel,
@@ -391,21 +438,14 @@ impl<'a> Simulator<'a> {
                         count: k,
                         latency,
                     });
-                    busy += latency * k;
                     t += period * k;
                 }
                 // ...then execution `k` is corrupted: its accelerated result
                 // is discarded and the kernel re-executes in RISC mode.
                 let detected_at = t;
                 let fault_latency = latency + risc;
-                stats.kernels.entry(activity.kernel).or_default().record(
-                    ExecClass::RiscMode,
-                    1,
-                    fault_latency,
-                );
-                stats.degraded_executions += 1;
-                stats.recovery_cycles += risc;
-                busy += fault_latency;
+                self.batches
+                    .push(ExecClass::RiscMode, 1, fault_latency, true);
                 t += fault_latency + activity.gap;
                 remaining -= k + 1;
                 // One fault source feeds both spines: the policy
@@ -432,11 +472,7 @@ impl<'a> Simulator<'a> {
                 continue;
             }
 
-            stats
-                .kernels
-                .entry(activity.kernel)
-                .or_default()
-                .record(class, n, latency);
+            self.batches.push(class, n, latency, false);
             self.timeline.emit_with(t, || SimEvent::ExecBatch {
                 at: t,
                 kernel: activity.kernel,
@@ -444,10 +480,30 @@ impl<'a> Simulator<'a> {
                 count: n,
                 latency,
             });
-            busy += latency * n;
             t += period * n;
             remaining -= n;
         }
+
+        // One fold per kernel: the buffered SoA rows collapse into the
+        // per-kernel accumulator (and the fault counters) with bulk
+        // arithmetic. `record` is purely additive, so this is
+        // byte-equivalent to the former per-epoch map updates; the busy
+        // total falls out of the same sum the fold computes anyway. The
+        // emptiness guard keeps the former behaviour of not materialising
+        // a stats entry for a zero-execution activity.
+        let busy = if self.batches.classes.is_empty() {
+            Cycles::ZERO
+        } else {
+            stats.kernels.entry(activity.kernel).or_default().record_batch(
+                &self.batches.classes,
+                &self.batches.executions,
+                &self.batches.per_exec_cycles,
+            )
+        };
+        let faults = self.batches.fault_count();
+        stats.degraded_executions += faults;
+        stats.recovery_cycles += risc * faults;
+
         // The trailing gap after the last execution is not part of the block.
         let finish = t - activity.gap;
         (busy, finish)

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod calendar;
 pub mod edpe;
 pub mod engine;
 pub mod policy;

@@ -70,12 +70,9 @@ impl BlockPlan {
     /// the *first* entry wins, matching the linear scan's behaviour.
     #[must_use]
     pub fn selection_index(&self) -> SelectionIndex {
-        let mut sorted = self.selections.clone();
-        // Stable sort + first-occurrence dedup preserves `selection_for`'s
-        // first-match-wins contract for duplicate kernel entries.
-        sorted.sort_by_key(|(k, _)| *k);
-        sorted.dedup_by_key(|(k, _)| *k);
-        SelectionIndex { sorted }
+        let mut index = SelectionIndex::default();
+        index.rebuild(self);
+        index
     }
 }
 
@@ -88,6 +85,18 @@ pub struct SelectionIndex {
 }
 
 impl SelectionIndex {
+    /// Rebuilds the index from `plan` in place, reusing the backing `Vec`'s
+    /// capacity — the engine keeps one index as per-block scratch so the
+    /// stepping loop never re-allocates it. A stable sort plus
+    /// first-occurrence dedup preserves `selection_for`'s
+    /// first-match-wins contract for duplicate kernel entries.
+    pub fn rebuild(&mut self, plan: &BlockPlan) {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(&plan.selections);
+        self.sorted.sort_by_key(|(k, _)| *k);
+        self.sorted.dedup_by_key(|(k, _)| *k);
+    }
+
     /// The selected ISE for `kernel`, if any.
     #[must_use]
     pub fn get(&self, kernel: KernelId) -> Option<IseId> {

@@ -28,6 +28,19 @@ impl ExecClass {
         ExecClass::IntermediateIse,
         ExecClass::FullIse,
     ];
+
+    /// Dense index of the class (its position in [`ExecClass::ALL`]),
+    /// letting hot paths accumulate per-class counters in a fixed array
+    /// instead of a map.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            ExecClass::RiscMode => 0,
+            ExecClass::MonoCg => 1,
+            ExecClass::IntermediateIse => 2,
+            ExecClass::FullIse => 3,
+        }
+    }
 }
 
 impl fmt::Display for ExecClass {
@@ -58,6 +71,40 @@ impl KernelStats {
         self.executions += n;
         self.cycles += latency * n;
         *self.by_class.entry(class).or_insert(0) += n;
+    }
+
+    /// Folds a whole SoA batch of `(class, count, latency)` rows in one
+    /// go and returns the total cycles the batch contributed. Since
+    /// [`KernelStats::record`] is purely additive, the fold is
+    /// order-insensitive and byte-equivalent to calling `record` per row —
+    /// but it touches `executions`/`cycles` once and each class's map
+    /// entry at most once, instead of per row.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the three slices have equal length; mismatched
+    /// rows beyond the shortest slice are otherwise ignored.
+    pub fn record_batch(
+        &mut self,
+        classes: &[ExecClass],
+        counts: &[u64],
+        latencies: &[Cycles],
+    ) -> Cycles {
+        debug_assert!(classes.len() == counts.len() && counts.len() == latencies.len());
+        let mut execs = [0u64; ExecClass::ALL.len()];
+        let mut cycles = Cycles::ZERO;
+        for ((&class, &n), &latency) in classes.iter().zip(counts).zip(latencies) {
+            execs[class.index()] += n;
+            cycles += latency * n;
+        }
+        self.executions += execs.iter().sum::<u64>();
+        self.cycles += cycles;
+        for (class, &n) in ExecClass::ALL.iter().zip(&execs) {
+            if n > 0 {
+                *self.by_class.entry(*class).or_insert(0) += n;
+            }
+        }
+        cycles
     }
 
     /// Executions in a given class.

@@ -40,6 +40,7 @@
 //! is therefore monotone in time; a multi-tenant log is monotone *per
 //! tenant* (tenant timelines interleave on the global clock).
 
+use crate::calendar::BoundaryQueue;
 use crate::stats::ExecClass;
 use mrts_arch::{Cycles, FabricKind, FaultKind};
 use mrts_ise::{BlockId, KernelId, UnitId};
@@ -345,11 +346,13 @@ pub fn events_to_jsonl(events: &[(u32, SimEvent)]) -> Result<String, serde_json:
 #[derive(Debug, Default)]
 pub struct Timeline {
     now: Cycles,
-    /// Residency boundaries of the current block: sorted ascending and
-    /// deduplicated. Rebuilt per block ([`Timeline::begin_block`]) so the
-    /// fault-injection RNG observes exactly the pre-refactor batch
-    /// structure.
-    boundaries: Vec<Cycles>,
+    /// Residency boundaries of the current block, deduplicated and drained
+    /// in ascending order. Rebuilt per block ([`Timeline::begin_block`]) so
+    /// the fault-injection RNG observes exactly the pre-refactor batch
+    /// structure. Backed by a calendar queue ([`BoundaryQueue`]) since the
+    /// per-insert memmove of the former sorted `Vec` went quadratic on
+    /// large blocks; the observable semantics are oracle-tested identical.
+    boundaries: BoundaryQueue,
     /// Deferred events, min-ordered by `(at, seq)`; drained as the clock
     /// passes each timestamp.
     pending: Vec<(Cycles, u64, SimEvent)>,
@@ -459,19 +462,13 @@ impl Timeline {
         self.boundaries.clear();
     }
 
-    /// Inserts a residency boundary, keeping the queue sorted and
-    /// deduplicated. Returns `false` if the timestamp was already queued
-    /// (duplicates cannot change the epoch structure — the epoch scan is a
-    /// strict `> t` search — so they are dropped at the door instead of
+    /// Inserts a residency boundary, keeping the queue deduplicated.
+    /// Returns `false` if the timestamp was already queued (duplicates
+    /// cannot change the epoch structure — the epoch scan is a strict
+    /// `> t` search — so they are dropped at the door instead of
     /// re-planning a no-op epoch).
     pub fn push_boundary(&mut self, t: Cycles) -> bool {
-        match self.boundaries.binary_search(&t) {
-            Ok(_) => false,
-            Err(pos) => {
-                self.boundaries.insert(pos, t);
-                true
-            }
-        }
+        self.boundaries.insert(t)
     }
 
     /// The earliest boundary strictly after `t`, using `cursor` as a
@@ -480,22 +477,8 @@ impl Timeline {
     /// insertions during the walk — monoCG installs — land at positions at
     /// or beyond the cursor because their completion times exceed `t`).
     /// Replaces the pre-refactor O(queue) linear scan per epoch.
-    #[must_use]
-    pub fn next_boundary_after(&self, t: Cycles, cursor: &mut usize) -> Option<Cycles> {
-        let mut i = (*cursor).min(self.boundaries.len());
-        // In the common case the hint is already correct or one step away;
-        // a straggling hint catches up via the same forward walk the
-        // monotone cursor argument guarantees is amortised O(1).
-        while i < self.boundaries.len() && self.boundaries[i] <= t {
-            i += 1;
-        }
-        debug_assert_eq!(
-            i,
-            self.boundaries.partition_point(|b| *b <= t).max(*cursor),
-            "cursor hint fell behind a boundary insertion"
-        );
-        *cursor = i;
-        self.boundaries.get(i).copied()
+    pub fn next_boundary_after(&mut self, t: Cycles, cursor: &mut usize) -> Option<Cycles> {
+        self.boundaries.next_after(t, cursor)
     }
 
     /// Number of distinct boundaries currently queued (diagnostics/tests).
