@@ -392,6 +392,16 @@ impl CgFabric {
         v
     }
 
+    /// Feeds every id resident at `now` to `f`, in EDPE slot order
+    /// (unsorted). The allocation-free sibling of
+    /// [`CgFabric::resident_ids`] for callers that stage into a reusable
+    /// buffer and sort there.
+    pub fn for_each_resident_id(&self, now: Cycles, mut f: impl FnMut(LoadedId)) {
+        for id in self.edpes.iter().filter_map(|e| e.resident(now)) {
+            f(id);
+        }
+    }
+
     /// Whether artefact `id` is resident and usable at `now`.
     #[must_use]
     pub fn is_resident(&self, id: LoadedId, now: Cycles) -> bool {

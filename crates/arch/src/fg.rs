@@ -234,6 +234,16 @@ impl FgFabric {
         v
     }
 
+    /// Feeds every id resident at `now` to `f`, in PRC slot order
+    /// (unsorted). The allocation-free sibling of
+    /// [`FgFabric::resident_ids`] for callers that stage into a reusable
+    /// buffer and sort there.
+    pub fn for_each_resident_id(&self, now: Cycles, mut f: impl FnMut(LoadedId)) {
+        for id in self.prcs.iter().filter_map(|p| p.resident(now)) {
+            f(id);
+        }
+    }
+
     /// Whether data path `id` is resident and usable at `now`.
     #[must_use]
     pub fn is_resident(&self, id: LoadedId, now: Cycles) -> bool {

@@ -205,6 +205,17 @@ impl ReconfigurationController {
         self.port_mut(req.fabric).admit(now, req)
     }
 
+    /// Makes `self` an exact copy of `other`'s port schedules, reusing the
+    /// existing ticket-queue allocations. Equivalent to `*self =
+    /// other.clone()` but allocation-free once the queues have grown — the
+    /// ISE selector rebuilds its shadow controller this way on every block.
+    pub fn clone_schedule_from(&mut self, other: &Self) {
+        self.fg.busy_until = other.fg.busy_until;
+        self.fg.inflight.clone_from(&other.fg.inflight);
+        self.cg.busy_until = other.cg.busy_until;
+        self.cg.inflight.clone_from(&other.cg.inflight);
+    }
+
     /// Admits a load whose payload is known to be discarded (an injected
     /// CRC / permanent fault): the port is occupied for the full transfer —
     /// the streaming time is genuinely wasted — but no in-flight ticket is

@@ -95,16 +95,24 @@ impl Mpu {
     /// through unchanged.
     #[must_use]
     pub fn correct(&self, forecast: &TriggerBlock) -> TriggerBlock {
-        let triggers = forecast
-            .iter()
-            .map(|t| match self.predictors.get(&t.kernel) {
+        let mut out = TriggerBlock::new(forecast.block, Vec::new());
+        self.correct_into(forecast, &mut out);
+        out
+    }
+
+    /// [`Mpu::correct`] writing into a caller-owned block, reusing its
+    /// trigger buffer (the per-block hot path's allocation hygiene).
+    pub fn correct_into(&self, forecast: &TriggerBlock, out: &mut TriggerBlock) {
+        out.block = forecast.block;
+        out.triggers.clear();
+        out.triggers.extend(forecast.iter().map(|t| {
+            match self.predictors.get(&t.kernel) {
                 Some(p) => t
                     .with_executions(p.executions.round().max(1.0) as u64)
                     .with_time_between(Cycles::new(p.gap.round().max(0.0) as u64)),
                 None => *t,
-            })
-            .collect();
-        TriggerBlock::new(forecast.block, triggers)
+            }
+        }));
     }
 
     /// Feeds back the actually observed behaviour of one functional-block

@@ -112,23 +112,42 @@ pub struct ProfitMemo {
     pending: Vec<(LoadedId, Cycles)>,
 }
 
+impl Default for ProfitMemo {
+    /// An empty memo (idle ports at time zero); only useful as the
+    /// starting state for [`ProfitMemo::capture_into`].
+    fn default() -> Self {
+        ProfitMemo {
+            now: Cycles::ZERO,
+            fg_base: Cycles::ZERO,
+            cg_base: Cycles::ZERO,
+            pending: Vec::new(),
+        }
+    }
+}
+
 impl ProfitMemo {
     /// Captures the port state of `controller` as seen at `now`.
     #[must_use]
     pub fn capture(controller: &ReconfigurationController, now: Cycles) -> Self {
-        let mut pending: Vec<(LoadedId, Cycles)> = Vec::new();
+        let mut memo = ProfitMemo::default();
+        memo.capture_into(controller, now);
+        memo
+    }
+
+    /// [`ProfitMemo::capture`] in place, reusing the pending-transfer
+    /// buffer — the greedy loop recaptures once per commit round, so this
+    /// keeps the rounds allocation-free.
+    pub fn capture_into(&mut self, controller: &ReconfigurationController, now: Cycles) {
+        self.pending.clear();
         for t in controller.inflight_tickets() {
-            if !pending.iter().any(|(id, _)| *id == t.id) {
-                pending.push((t.id, t.ready_at));
+            if !self.pending.iter().any(|(id, _)| *id == t.id) {
+                self.pending.push((t.id, t.ready_at));
             }
         }
-        pending.sort_unstable_by_key(|(id, _)| *id);
-        ProfitMemo {
-            now,
-            fg_base: now.max(controller.port_free_at(FabricKind::FineGrained)),
-            cg_base: now.max(controller.port_free_at(FabricKind::CoarseGrained)),
-            pending,
-        }
+        self.pending.sort_unstable_by_key(|(id, _)| *id);
+        self.now = now;
+        self.fg_base = now.max(controller.port_free_at(FabricKind::FineGrained));
+        self.cg_base = now.max(controller.port_free_at(FabricKind::CoarseGrained));
     }
 
     /// Fills `ready_rel[i]` — when stage `i`'s unit becomes usable,
@@ -165,10 +184,49 @@ impl ProfitMemo {
 
 /// Reusable buffers for [`expected_profit_value`] — the allocation hygiene
 /// of the selector hot loop. One instance serves any number of evaluations.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ProfitScratch {
     ready_rel: Vec<Cycles>,
     order: Vec<usize>,
+}
+
+/// The complete buffer set of an [`ExpectedProfitEval`], extractable via
+/// [`ExpectedProfitEval::recycle`] so a policy that creates one evaluator
+/// per block (the evaluator borrows that block's residency closure and
+/// cannot outlive it) still reuses the allocations underneath across
+/// blocks.
+#[derive(Debug, Clone, Default)]
+pub struct ProfitEvalBuffers {
+    scratch: ProfitScratch,
+    memo: ProfitMemo,
+    /// `risc_latency − full_latency` per [`IseId`] — the per-execution
+    /// ceiling of Eq. 4, a run-constant of the catalogue. Filled by
+    /// [`ProfitEvalBuffers::rebind_catalog`] so [`ProfitFn::upper_bound`]
+    /// is a table lookup instead of a stage walk per candidate per block.
+    bound_base: Vec<f64>,
+    /// Identity of the catalogue `bound_base` was computed from (ISE slice
+    /// address + length): the table survives across blocks of one run and
+    /// is rebuilt if the policy is ever pointed at a different catalogue.
+    bound_key: (usize, usize),
+}
+
+impl ProfitEvalBuffers {
+    /// (Re)computes `bound_base` if `catalog` differs from the catalogue
+    /// the table was built from. Cost on change: one stage walk per ISE —
+    /// the same work [`ProfitFn::upper_bound`] previously did per block.
+    pub fn rebind_catalog(&mut self, catalog: &mrts_ise::IseCatalog) {
+        let ises = catalog.ises();
+        let key = (ises.as_ptr() as usize, ises.len());
+        if self.bound_key == key {
+            return;
+        }
+        self.bound_base.clear();
+        self.bound_base.extend(
+            ises.iter()
+                .map(|ise| (ise.risc_latency() - ise.full_latency()).get() as f64),
+        );
+        self.bound_key = key;
+    }
 }
 
 /// The Eq. 2/3/4 stage walk shared by the breakdown and hot paths. Both
@@ -319,6 +377,17 @@ pub fn expected_profit_value(
     resident: &dyn Fn(UnitId) -> bool,
     scratch: &mut ProfitScratch,
 ) -> f64 {
+    // Fully-resident fast path: every `ready_rel` is zero, so the stage
+    // walk degenerates — `NoE_RM = 0`, every intermediate window is empty,
+    // and all `e` executions land on the fully configured ISE. The walk
+    // would compute `0.0 + e·(risc − latency(ISEₙ))`, and `0.0 + x` is `x`
+    // bit for bit for the non-negative products here, so returning the
+    // closed form directly is exact (the equivalence proptests pin this).
+    if ise.stages().iter().all(|s| resident(s.unit)) {
+        let e = trigger.expected_executions as f64;
+        let max_saving = (ise.risc_latency() - ise.full_latency()).get() as f64;
+        return e * max_saving;
+    }
     memo.fill_ready_rel(ise, resident, &mut scratch.ready_rel);
     walk_stages(ise, trigger, &scratch.ready_rel, &mut scratch.order, None).profit
 }
@@ -331,8 +400,8 @@ pub struct ExpectedProfitEval<'a> {
     now: Cycles,
     resident: &'a dyn Fn(UnitId) -> bool,
     allow_mono: bool,
-    scratch: ProfitScratch,
-    memo: Option<ProfitMemo>,
+    bufs: ProfitEvalBuffers,
+    memo_valid: bool,
 }
 
 impl fmt::Debug for ExpectedProfitEval<'_> {
@@ -340,7 +409,7 @@ impl fmt::Debug for ExpectedProfitEval<'_> {
         f.debug_struct("ExpectedProfitEval")
             .field("now", &self.now)
             .field("allow_mono", &self.allow_mono)
-            .field("memo", &self.memo)
+            .field("memo_valid", &self.memo_valid)
             .finish_non_exhaustive()
     }
 }
@@ -349,13 +418,32 @@ impl<'a> ExpectedProfitEval<'a> {
     /// A fresh evaluator for a selection happening at `now`.
     #[must_use]
     pub fn new(now: Cycles, resident: &'a dyn Fn(UnitId) -> bool) -> Self {
+        Self::with_buffers(now, resident, ProfitEvalBuffers::default())
+    }
+
+    /// An evaluator reusing previously [`recycled`] buffers, so creating
+    /// one per block allocates nothing in the steady state.
+    ///
+    /// [`recycled`]: ExpectedProfitEval::recycle
+    #[must_use]
+    pub fn with_buffers(
+        now: Cycles,
+        resident: &'a dyn Fn(UnitId) -> bool,
+        bufs: ProfitEvalBuffers,
+    ) -> Self {
         ExpectedProfitEval {
             now,
             resident,
             allow_mono: true,
-            scratch: ProfitScratch::default(),
-            memo: None,
+            bufs,
+            memo_valid: false,
         }
+    }
+
+    /// Consumes the evaluator, handing its buffers back for the next one.
+    #[must_use]
+    pub fn recycle(self) -> ProfitEvalBuffers {
+        self.bufs
     }
 
     /// Whether monoCG-Extension candidates may earn profit (the ECU
@@ -376,7 +464,12 @@ impl crate::selector::ProfitFn for ExpectedProfitEval<'_> {
         if !self.allow_mono && ise.is_mono_extension() {
             return Some(0.0); // ablation: monoCG disabled entirely
         }
-        let max_saving = (ise.risc_latency() - ise.full_latency()).get() as f64;
+        let max_saving = match self.bufs.bound_base.get(ise.id().0 as usize) {
+            Some(&base) => base,
+            // No table bound (caller never called `rebind_catalog`): fall
+            // back to the direct stage walk.
+            None => (ise.risc_latency() - ise.full_latency()).get() as f64,
+        };
         Some(trigger.expected_executions as f64 * max_saving)
     }
 
@@ -389,15 +482,16 @@ impl crate::selector::ProfitFn for ExpectedProfitEval<'_> {
         if !self.allow_mono && ise.is_mono_extension() {
             return 0.0; // ablation: monoCG disabled entirely
         }
-        if self.memo.is_none() {
-            self.memo = Some(ProfitMemo::capture(shadow, self.now));
+        if !self.memo_valid {
+            self.bufs.memo.capture_into(shadow, self.now);
+            self.memo_valid = true;
         }
-        let memo = self.memo.as_ref().expect("memo just captured");
-        expected_profit_value(ise, trigger, memo, self.resident, &mut self.scratch)
+        let ProfitEvalBuffers { scratch, memo, .. } = &mut self.bufs;
+        expected_profit_value(ise, trigger, memo, self.resident, scratch)
     }
 
     fn invalidate(&mut self) {
-        self.memo = None;
+        self.memo_valid = false;
     }
 }
 

@@ -5,8 +5,8 @@
 use crate::ecu::{self, EcuConfig};
 use crate::mpu::Mpu;
 use crate::selector::SelectorConfig;
-use mrts_arch::{Cycles, FabricKind, Machine, Resources};
-use mrts_ise::{IseId, KernelId, UnitId};
+use mrts_arch::{Cycles, FabricKind, Resources};
+use mrts_ise::{BlockId, IseId, KernelId, TriggerBlock, UnitId};
 use mrts_sim::{BlockPlan, ExecContext, ExecPlan, FaultEvent, RuntimePolicy, SelectionContext};
 use mrts_workload::KernelActivity;
 
@@ -144,6 +144,21 @@ pub struct Mrts {
     /// function's residency probes are binary searches over a tiny sorted
     /// slice instead of per-probe fabric scans.
     resident_buf: Vec<u64>,
+    /// Scratch: the forecast's kernel ids (step 2's evictability filter).
+    kernels_buf: Vec<KernelId>,
+    /// Scratch: units present on the fabric at plan time, sorted by
+    /// loaded id (step 2).
+    present_buf: Vec<UnitId>,
+    /// Scratch: the evictable subset of `present_buf` (step 2/5).
+    evictable_buf: Vec<UnitId>,
+    /// The selector's reusable working-set arena (candidate list, heap,
+    /// shadow controller, demand cache …).
+    sel_scratch: crate::selector::SelectorScratch,
+    /// The profit evaluator's reusable buffers (ready-time scratch and the
+    /// per-round port-state memo).
+    profit_bufs: crate::profit::ProfitEvalBuffers,
+    /// Reusable MPU-corrected forecast for the current block.
+    forecast_buf: mrts_ise::TriggerBlock,
 }
 
 impl Mrts {
@@ -165,6 +180,12 @@ impl Mrts {
             faults_observed: 0,
             evict_buf: Vec::new(),
             resident_buf: Vec::new(),
+            kernels_buf: Vec::new(),
+            present_buf: Vec::new(),
+            evictable_buf: Vec::new(),
+            sel_scratch: crate::selector::SelectorScratch::new(),
+            profit_bufs: crate::profit::ProfitEvalBuffers::default(),
+            forecast_buf: mrts_ise::TriggerBlock::new(mrts_ise::BlockId(0), Vec::new()),
         }
     }
 
@@ -204,15 +225,6 @@ impl Mrts {
         }
         self.total_selection_cycles as f64 / self.total_kernels_selected as f64
     }
-
-    /// Units present (resident or streaming) on the machine, with their
-    /// owning kernel and fabric.
-    fn present_units(machine: &Machine) -> Vec<UnitId> {
-        let mut ids: Vec<u64> = machine.fg().resident_ids(Cycles::MAX);
-        ids.extend(machine.cg().resident_ids(Cycles::MAX));
-        ids.sort_unstable();
-        ids.into_iter().map(UnitId::from_loaded_id).collect()
-    }
 }
 
 impl Default for Mrts {
@@ -244,28 +256,59 @@ impl RuntimePolicy for Mrts {
         }
 
         // 1. MPU: correct the compile-time forecast with run-time
-        //    observations.
-        let forecast = if self.config.use_mpu {
-            self.mpu.correct(ctx.forecast)
+        //    observations, staged into the reusable forecast buffer (taken
+        //    out of `self` so the borrow checker allows the scratch-arena
+        //    borrows below; returned before this call ends).
+        let mut forecast = std::mem::replace(
+            &mut self.forecast_buf,
+            TriggerBlock::new(BlockId(0), Vec::new()),
+        );
+        if self.config.use_mpu {
+            self.mpu.correct_into(ctx.forecast, &mut forecast);
         } else {
-            ctx.forecast.clone()
-        };
+            forecast.block = ctx.forecast.block;
+            forecast.triggers.clear();
+            forecast.triggers.extend_from_slice(&ctx.forecast.triggers);
+        }
+        let forecast = forecast;
 
         // 2. Fabric status: units of kernels outside this block are
-        //    evictable; their slots extend the selector's budget.
-        let forecast_kernels: Vec<KernelId> = forecast.iter().map(|t| t.kernel).collect();
-        let present = Self::present_units(ctx.machine);
-        let evictable: Vec<UnitId> = present
-            .iter()
-            .copied()
-            // Units outside the catalogue belong to other tasks sharing the
-            // fabric: they occupy slots but are not ours to evict.
-            .filter(|u| {
-                ctx.catalog
-                    .unit_checked(*u)
-                    .is_some_and(|unit| !forecast_kernels.contains(&unit.kernel()))
-            })
-            .collect();
+        //    evictable; their slots extend the selector's budget. All
+        //    three lists are staged in reusable buffers (`resident_buf`
+        //    doubles as the u64 staging area; step 3 refills it).
+        self.kernels_buf.clear();
+        self.kernels_buf.extend(forecast.iter().map(|t| t.kernel));
+        let forecast_kernels = &self.kernels_buf;
+        self.resident_buf.clear();
+        let stage = &mut self.resident_buf;
+        ctx.machine
+            .fg()
+            .for_each_resident_id(Cycles::MAX, |id| stage.push(id));
+        ctx.machine
+            .cg()
+            .for_each_resident_id(Cycles::MAX, |id| stage.push(id));
+        stage.sort_unstable();
+        self.present_buf.clear();
+        self.present_buf.extend(
+            self.resident_buf
+                .iter()
+                .copied()
+                .map(UnitId::from_loaded_id),
+        );
+        self.evictable_buf.clear();
+        self.evictable_buf.extend(
+            self.present_buf
+                .iter()
+                .copied()
+                // Units outside the catalogue belong to other tasks sharing
+                // the fabric: they occupy slots but are not ours to evict.
+                .filter(|u| {
+                    ctx.catalog
+                        .unit_checked(*u)
+                        .is_some_and(|unit| !forecast_kernels.contains(&unit.kernel()))
+                }),
+        );
+        let evictable = std::mem::take(&mut self.evictable_buf);
         let evictable_resources: Resources = evictable
             .iter()
             .map(|u| ctx.catalog.unit(*u).resources())
@@ -285,16 +328,26 @@ impl RuntimePolicy for Mrts {
         let now = ctx.now;
         let mut resident_ids = std::mem::take(&mut self.resident_buf);
         resident_ids.clear();
-        resident_ids.extend(ctx.machine.fg().resident_ids(now));
-        resident_ids.extend(ctx.machine.cg().resident_ids(now));
+        ctx.machine
+            .fg()
+            .for_each_resident_id(now, |id| resident_ids.push(id));
+        ctx.machine
+            .cg()
+            .for_each_resident_id(now, |id| resident_ids.push(id));
         resident_ids.sort_unstable();
         let resident = |u: UnitId| resident_ids.binary_search(&u.as_loaded_id()).is_ok();
         let use_mono = self.config.ecu.use_mono_cg;
         // The memoizing evaluator captures the shadow port schedule once per
         // selection round and reuses its scratch buffers across candidates
         // (identical profits to `expected_profit`, bit for bit).
-        let mut profit = crate::profit::ExpectedProfitEval::new(now, &resident).with_mono(use_mono);
-        let selection = crate::selector::select_ises_with(
+        self.profit_bufs.rebind_catalog(ctx.catalog);
+        let mut profit = crate::profit::ExpectedProfitEval::with_buffers(
+            now,
+            &resident,
+            std::mem::take(&mut self.profit_bufs),
+        )
+        .with_mono(use_mono);
+        let selection = crate::selector::select_ises_with_scratch(
             ctx.catalog,
             &forecast,
             budget,
@@ -303,8 +356,9 @@ impl RuntimePolicy for Mrts {
             ctx.now,
             &self.config.selector,
             &mut profit,
+            &mut self.sel_scratch,
         );
-        drop(profit);
+        self.profit_bufs = profit.recycle();
         self.resident_buf = resident_ids;
 
         // 4. Pre-load monoCG-Extensions with the leftover CG budget (the
@@ -335,7 +389,7 @@ impl RuntimePolicy for Mrts {
         let mut cg_short = need.cg().saturating_sub(free.cg());
         let mut prc_short = need.prc().saturating_sub(free.prc());
         let mut evict = std::mem::take(&mut self.evict_buf);
-        for u in evictable {
+        for &u in &evictable {
             if cg_short == 0 && prc_short == 0 {
                 break;
             }
@@ -351,6 +405,7 @@ impl RuntimePolicy for Mrts {
                 _ => {}
             }
         }
+        self.evictable_buf = evictable;
 
         // 6. Overhead accounting (Section 5.4): the computation after the
         //    first per-kernel selection overlaps the reconfiguration it
@@ -365,6 +420,7 @@ impl RuntimePolicy for Mrts {
         self.blocks_planned += 1;
         self.total_selection_cycles += computed.get();
         self.total_kernels_selected += kernels;
+        self.forecast_buf = forecast;
 
         BlockPlan {
             selections: selection.choices,
@@ -423,9 +479,10 @@ impl RuntimePolicy for Mrts {
         self.set_slice(slice);
     }
 
-    /// Reclaims the applied plan's eviction buffer, so the next
-    /// [`Mrts::plan_block`] builds its eviction list in place instead of
-    /// allocating a fresh `Vec` per block.
+    /// Reclaims the applied plan's buffers — the eviction list, the
+    /// per-kernel choices and the load order — so the next
+    /// [`Mrts::plan_block`] builds all three in place instead of
+    /// allocating fresh `Vec`s per block.
     fn recycle_plan(&mut self, plan: BlockPlan) {
         let mut evict = plan.evict;
         evict.clear();
@@ -434,13 +491,14 @@ impl RuntimePolicy for Mrts {
         if evict.capacity() > self.evict_buf.capacity() {
             self.evict_buf = evict;
         }
+        self.sel_scratch.reclaim(plan.selections, plan.load_order);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrts_arch::ArchParams;
+    use mrts_arch::{ArchParams, Machine};
     use mrts_sim::{ExecClass, RiscOnlyPolicy, Simulator};
     use mrts_workload::h264::H264Encoder;
     use mrts_workload::synthetic::{synthetic_trace, Pattern, ToyApp};

@@ -43,6 +43,7 @@ use mrts_arch::{Cycles, LoadRequest, ReconfigurationController, Resources};
 use mrts_ise::{Ise, IseCatalog, IseId, KernelId, TriggerBlock, TriggerInstruction, UnitId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Cost model of the selector itself (drives the Section 5.4 overhead
 /// accounting). Defaults are calibrated so a typical functional block
@@ -211,12 +212,21 @@ pub fn select_ises(
     )
 }
 
-/// One candidate ISE paired with its forecast trigger, resolved once at
-/// list-build time (the former per-evaluation `trigger_for` linear scan).
-#[derive(Clone, Copy)]
-struct Candidate<'a> {
-    ise: &'a Ise,
-    trigger: &'a TriggerInstruction,
+/// One candidate ISE paired with the index of its forecast trigger,
+/// resolved once at list-build time (the former per-evaluation
+/// `trigger_for` linear scan). Stored by id, not reference, so the
+/// candidate list can live in the lifetime-free [`SelectorScratch`];
+/// resolving an id through [`IseCatalog::ise`] is a dense-array index.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    ise: IseId,
+    trigger: u32,
+    /// The candidate's kernel (= its trigger's kernel), denormalised so the
+    /// admissibility probes the greedy loop fires hundreds of times per
+    /// block — step 4's served-kernel check, the cost-model retain sweeps,
+    /// the heap-drain pops — stay inside this hot little array instead of
+    /// dereferencing the full catalogue `Ise` record each time.
+    kernel: KernelId,
 }
 
 /// Mutable greedy state shared by the lazy and full-rescan paths.
@@ -317,47 +327,146 @@ impl GreedyState<'_> {
 /// Round stamp marking a heap entry seeded from [`ProfitFn::upper_bound`]:
 /// never equal to a real commit round, so such entries are always treated
 /// as stale (their key is an upper bound, not an evaluated profit).
-const BOUND_ROUND: u64 = u64::MAX;
+const BOUND_ROUND: u32 = u32::MAX;
 
 /// Heap entry of the lazy-greedy priority queue. Ordered by (profit
 /// descending, [`IseId`] ascending) — the exact arg-max order of the
-/// reference loop's tie-break.
-struct LazyEntry<'a> {
+/// reference loop's tie-break. Owns its ids so the heap's backing storage
+/// can persist in [`SelectorScratch`] across blocks.
+struct LazyEntry {
     profit: f64,
-    ise: &'a Ise,
+    ise: IseId,
     /// Index into the candidate list (for the per-round demand cache).
-    idx: usize,
+    idx: u32,
     /// Commit round the profit was evaluated in; an entry is *fresh* iff
     /// its round equals the current one. [`BOUND_ROUND`] marks entries
-    /// seeded from an upper bound, which are never fresh.
-    round: u64,
+    /// seeded from an upper bound, which are never fresh. `u32` keeps the
+    /// entry at 24 bytes — the heap drain sifts hundreds of these per
+    /// block.
+    round: u32,
 }
 
-impl PartialEq for LazyEntry<'_> {
+impl PartialEq for LazyEntry {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == Ordering::Equal
     }
 }
-impl Eq for LazyEntry<'_> {}
-impl PartialOrd for LazyEntry<'_> {
+impl Eq for LazyEntry {}
+impl PartialOrd for LazyEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for LazyEntry<'_> {
+impl Ord for LazyEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Profits are never NaN (asserted at insertion); total_cmp gives a
         // total order either way. Lower id wins ties, so reverse it for the
         // max-heap.
         self.profit
             .total_cmp(&other.profit)
-            .then_with(|| other.ise.id().cmp(&self.ise.id()))
+            .then_with(|| other.ise.cmp(&self.ise))
+    }
+}
+
+/// Reusable allocation arena for the selector's per-block working set.
+///
+/// Every `Vec`, heap and shadow-controller queue the greedy loop needs is
+/// kept here between blocks, so a caller that holds one scratch across a
+/// run (mRTS does) makes steady-state selection allocation-free except for
+/// the buffers that escape into the returned [`Selection`] — and even
+/// those can be donated back via [`SelectorScratch::reclaim`] once the
+/// consuming engine recycles the applied plan.
+#[derive(Debug)]
+pub struct SelectorScratch {
+    candidates: Vec<Candidate>,
+    pending_ids: Vec<u64>,
+    demand_cache: Vec<Option<Resources>>,
+    /// Per-unit needs-load memo for the seed sweep, indexed by dense
+    /// [`UnitId`]: 0 = unprobed, 1 = needs a load, 2 = already covered
+    /// (resident or streaming). Units are probed through the residency
+    /// closure and the pending-id search exactly once per selection; ISE
+    /// variants of one kernel share most of their units, so the ~1000
+    /// stage probes of a block collapse to one pass over the distinct
+    /// units. Only consulted before the first commit (the seed sweep fills
+    /// every per-candidate demand), so the pending-set growth from commits
+    /// can never be observed through a stale entry.
+    unit_state: Vec<u8>,
+    /// Whether candidate `i` currently has an entry in the lazy heap —
+    /// the bookkeeping behind the `live` early-exit (see the pop loop).
+    has_entry: Vec<bool>,
+    alive: Vec<usize>,
+    heap: BinaryHeap<LazyEntry>,
+    shadow: ReconfigurationController,
+    selected_kernels: Vec<KernelId>,
+    /// Spare storage for the outgoing `Selection::choices` /
+    /// `Selection::load_order`, refilled by [`SelectorScratch::reclaim`].
+    choices_spare: Vec<(KernelId, Option<IseId>)>,
+    load_order_spare: Vec<UnitId>,
+}
+
+impl Default for SelectorScratch {
+    fn default() -> Self {
+        SelectorScratch {
+            candidates: Vec::new(),
+            pending_ids: Vec::new(),
+            demand_cache: Vec::new(),
+            unit_state: Vec::new(),
+            has_entry: Vec::new(),
+            alive: Vec::new(),
+            heap: BinaryHeap::new(),
+            shadow: ReconfigurationController::new(),
+            selected_kernels: Vec::new(),
+            choices_spare: Vec::new(),
+            load_order_spare: Vec::new(),
+        }
+    }
+}
+
+impl Clone for SelectorScratch {
+    /// Scratch contents are per-block transients with no observable
+    /// effect on selection output, so a clone simply starts empty
+    /// (cheaper, and `LazyEntry` heaps are not clonable anyway).
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl SelectorScratch {
+    /// Creates an empty scratch arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a consumed selection's escaping buffers (the choice list
+    /// and load order that travelled out through the block plan) so the
+    /// next selection reuses their capacity.
+    pub fn reclaim(&mut self, choices: Vec<(KernelId, Option<IseId>)>, load_order: Vec<UnitId>) {
+        if choices.capacity() > self.choices_spare.capacity() {
+            self.choices_spare = choices;
+        }
+        if load_order.capacity() > self.load_order_spare.capacity() {
+            self.load_order_spare = load_order;
+        }
+    }
+}
+
+impl fmt::Debug for LazyEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LazyEntry")
+            .field("profit", &self.profit)
+            .field("ise", &self.ise)
+            .field("idx", &self.idx)
+            .field("round", &self.round)
+            .finish()
     }
 }
 
 /// [`select_ises`] with a custom profit evaluator — the hook the
 /// RISPP-like baseline uses to plug in its FG-tuned cost function while
-/// reusing the identical greedy loop.
+/// reusing the identical greedy loop. Allocates a throwaway scratch arena;
+/// hot-path callers hold a [`SelectorScratch`] across blocks and use
+/// [`select_ises_with_scratch`] instead.
 #[allow(clippy::too_many_arguments)]
 #[must_use]
 pub fn select_ises_with(
@@ -370,36 +479,83 @@ pub fn select_ises_with(
     config: &SelectorConfig,
     profit: &mut dyn ProfitFn,
 ) -> Selection {
+    let mut scratch = SelectorScratch::new();
+    select_ises_with_scratch(
+        catalog,
+        forecast,
+        budget,
+        resident,
+        controller,
+        now,
+        config,
+        profit,
+        &mut scratch,
+    )
+}
+
+/// [`select_ises_with`] drawing every working buffer from a caller-held
+/// [`SelectorScratch`], so repeated selections (one per trigger block) run
+/// without heap allocation in the steady state. Byte-identical output to
+/// the scratch-free entry points.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn select_ises_with_scratch(
+    catalog: &IseCatalog,
+    forecast: &TriggerBlock,
+    budget: Resources,
+    resident: &dyn Fn(UnitId) -> bool,
+    controller: &ReconfigurationController,
+    now: Cycles,
+    config: &SelectorConfig,
+    profit: &mut dyn ProfitFn,
+    scratch: &mut SelectorScratch,
+) -> Selection {
     // Step 1: candidate list of all ISEs of all forecast kernels
     // (optionally restricted to the Pareto-efficient variants), each paired
     // with its trigger once instead of a per-evaluation forecast scan.
-    let mut candidates: Vec<Candidate> = Vec::new();
-    for trigger in forecast.iter() {
+    let triggers: &[TriggerInstruction] = &forecast.triggers;
+    let mut candidates = std::mem::take(&mut scratch.candidates);
+    candidates.clear();
+    for (ti, trigger) in triggers.iter().enumerate() {
         if config.prune_dominated {
             for id in catalog.pareto_ises_of(trigger.kernel) {
-                let ise = catalog.ise(id).expect("catalogue ids are dense");
-                candidates.push(Candidate { ise, trigger });
+                candidates.push(Candidate {
+                    ise: id,
+                    trigger: ti as u32,
+                    kernel: trigger.kernel,
+                });
             }
         } else {
             for id in catalog.ises_of(trigger.kernel) {
-                let ise = catalog.ise(*id).expect("catalogue ids are dense");
-                candidates.push(Candidate { ise, trigger });
+                candidates.push(Candidate {
+                    ise: *id,
+                    trigger: ti as u32,
+                    kernel: trigger.kernel,
+                });
             }
         }
     }
 
-    let mut pending_ids: Vec<u64> = controller.inflight_tickets().map(|t| t.id).collect();
+    let mut pending_ids = std::mem::take(&mut scratch.pending_ids);
+    pending_ids.clear();
+    pending_ids.extend(controller.inflight_tickets().map(|t| t.id));
     pending_ids.sort_unstable();
     pending_ids.dedup();
+    let mut shadow = std::mem::replace(&mut scratch.shadow, ReconfigurationController::new());
+    shadow.clone_schedule_from(controller);
+    let mut selected_kernels = std::mem::take(&mut scratch.selected_kernels);
+    selected_kernels.clear();
+    let mut load_order = std::mem::take(&mut scratch.load_order_spare);
+    load_order.clear();
     let mut state = GreedyState {
         catalog,
         now,
-        shadow: controller.clone(),
+        shadow,
         remaining: budget,
-        selected_kernels: Vec::new(),
+        selected_kernels,
         pending_ids,
         selected: Vec::new(),
-        load_order: Vec::new(),
+        load_order,
     };
     let mut evaluated = 0u64;
     let mut modeled = 0u64;
@@ -412,7 +568,10 @@ pub fn select_ises_with(
             // are free, so only genuinely new units count against the
             // budget), and candidates of already-served kernels (step 4's
             // removal).
-            candidates.retain(|c| state.admissible(c.ise, resident));
+            candidates.retain(|c| {
+                let ise = catalog.ise(c.ise).expect("catalogue ids are dense");
+                state.admissible(ise, resident)
+            });
             if candidates.is_empty() {
                 break;
             }
@@ -423,7 +582,8 @@ pub fn select_ises_with(
             // accounted for).
             let mut best: Option<(usize, f64)> = None;
             for (i, c) in candidates.iter().enumerate() {
-                let p = profit.eval(c.ise, c.trigger, &state.shadow);
+                let ise = catalog.ise(c.ise).expect("catalogue ids are dense");
+                let p = profit.eval(ise, &triggers[c.trigger as usize], &state.shadow);
                 evaluated += 1;
                 if p <= 0.0 {
                     continue; // an unprofitable ISE is never worth its fabric
@@ -432,8 +592,7 @@ pub fn select_ises_with(
                     None => true,
                     Some((bi, bp)) => {
                         p > bp + f64::EPSILON
-                            || ((p - bp).abs() <= f64::EPSILON
-                                && c.ise.id() < candidates[bi].ise.id())
+                            || ((p - bp).abs() <= f64::EPSILON && c.ise < candidates[bi].ise)
                     }
                 };
                 if better {
@@ -443,7 +602,9 @@ pub fn select_ises_with(
             let Some((best_idx, best_profit)) = best else {
                 break; // nothing profitable remains
             };
-            let winner = candidates[best_idx].ise;
+            let winner = catalog
+                .ise(candidates[best_idx].ise)
+                .expect("catalogue ids are dense");
             state.commit(winner, best_profit, resident);
             profit.invalidate();
         }
@@ -468,72 +629,175 @@ pub fn select_ises_with(
         // check before the cache is consulted, so a stale entry is never
         // read. Each admissibility probe is then a tiny kernel scan plus
         // one `fits_in` compare.
-        let mut demand_cache: Vec<Option<Resources>> = vec![None; candidates.len()];
-        let admissible_cached =
-            |state: &GreedyState, cache: &mut Vec<Option<Resources>>, idx: usize| -> bool {
-                let c = &candidates[idx];
-                if state.selected_kernels.contains(&c.ise.kernel()) {
-                    return false;
-                }
-                cache[idx]
-                    .get_or_insert_with(|| state.new_demand(c.ise, resident))
-                    .fits_in(state.remaining)
-            };
-        let mut alive: Vec<usize> = (0..candidates.len())
-            .filter(|&i| admissible_cached(&state, &mut demand_cache, i))
-            .collect();
-        if !alive.is_empty() {
-            modeled += alive.len() as u64;
-            let mut round = 0u64;
-            let mut heap: BinaryHeap<LazyEntry> = BinaryHeap::with_capacity(alive.len());
-            for &i in &alive {
-                let c = &candidates[i];
-                match profit.upper_bound(c.ise, c.trigger) {
-                    Some(bound) => {
-                        debug_assert!(!bound.is_nan(), "bound of {} is NaN", c.ise.id());
-                        if bound > 0.0 {
-                            heap.push(LazyEntry {
-                                profit: bound,
-                                ise: c.ise,
-                                idx: i,
-                                round: BOUND_ROUND,
-                            });
+        let mut demand_cache = std::mem::take(&mut scratch.demand_cache);
+        demand_cache.clear();
+        demand_cache.resize(candidates.len(), None);
+        let mut unit_state = std::mem::take(&mut scratch.unit_state);
+        unit_state.clear();
+        unit_state.resize(catalog.units().len(), 0u8);
+        let admissible_cached = |state: &GreedyState,
+                                 cache: &mut Vec<Option<Resources>>,
+                                 units: &mut [u8],
+                                 idx: usize|
+         -> bool {
+            let c = &candidates[idx];
+            if state.selected_kernels.contains(&c.kernel) {
+                return false;
+            }
+            cache[idx]
+                .get_or_insert_with(|| {
+                    // Same answer as `GreedyState::new_demand`, with each
+                    // distinct unit probed at most once per selection.
+                    let ise = catalog.ise(c.ise).expect("catalogue ids are dense");
+                    let mut cg = 0u16;
+                    let mut prc = 0u16;
+                    for s in ise.stages() {
+                        let slot = &mut units[s.unit.index() as usize];
+                        let needs = match *slot {
+                            1 => true,
+                            2 => false,
+                            _ => {
+                                let needs =
+                                    !resident(s.unit) && !state.is_pending(s.unit.as_loaded_id());
+                                *slot = if needs { 1 } else { 2 };
+                                needs
+                            }
+                        };
+                        if needs {
+                            match s.fabric {
+                                mrts_arch::FabricKind::FineGrained => prc += 1,
+                                mrts_arch::FabricKind::CoarseGrained => cg += 1,
+                            }
                         }
                     }
-                    None => {
-                        let p = profit.eval(c.ise, c.trigger, &state.shadow);
-                        evaluated += 1;
-                        debug_assert!(!p.is_nan(), "profit of {} is NaN", c.ise.id());
-                        if p > 0.0 {
-                            heap.push(LazyEntry {
-                                profit: p,
-                                ise: c.ise,
-                                idx: i,
-                                round,
-                            });
+                    Resources::cg_only(cg) + Resources::prc_only(prc)
+                })
+                .fits_in(state.remaining)
+        };
+        // Seed sweep: one pass builds the cost-model candidate list
+        // (`alive`), fills every per-candidate demand, and seeds the heap —
+        // a single catalogue dereference per candidate covers both the
+        // demand computation and the profit bound.
+        let mut alive = std::mem::take(&mut scratch.alive);
+        alive.clear();
+        let mut heap = std::mem::take(&mut scratch.heap);
+        heap.clear();
+        let mut has_entry = std::mem::take(&mut scratch.has_entry);
+        has_entry.clear();
+        has_entry.resize(candidates.len(), false);
+        let mut round = 0u32;
+        for (i, c) in candidates.iter().enumerate() {
+            if state.selected_kernels.contains(&c.kernel) {
+                continue;
+            }
+            let ise = catalog.ise(c.ise).expect("catalogue ids are dense");
+            let demand = *demand_cache[i].get_or_insert_with(|| {
+                // Same answer as `GreedyState::new_demand`, with each
+                // distinct unit probed at most once per selection.
+                let mut cg = 0u16;
+                let mut prc = 0u16;
+                for s in ise.stages() {
+                    let slot = &mut unit_state[s.unit.index() as usize];
+                    let needs = match *slot {
+                        1 => true,
+                        2 => false,
+                        _ => {
+                            let needs =
+                                !resident(s.unit) && !state.is_pending(s.unit.as_loaded_id());
+                            *slot = if needs { 1 } else { 2 };
+                            needs
                         }
+                    };
+                    if needs {
+                        match s.fabric {
+                            mrts_arch::FabricKind::FineGrained => prc += 1,
+                            mrts_arch::FabricKind::CoarseGrained => cg += 1,
+                        }
+                    }
+                }
+                Resources::cg_only(cg) + Resources::prc_only(prc)
+            });
+            if !demand.fits_in(state.remaining) {
+                continue;
+            }
+            alive.push(i);
+            let trigger = &triggers[c.trigger as usize];
+            match profit.upper_bound(ise, trigger) {
+                Some(bound) => {
+                    debug_assert!(!bound.is_nan(), "bound of {} is NaN", c.ise);
+                    if bound > 0.0 {
+                        heap.push(LazyEntry {
+                            profit: bound,
+                            ise: c.ise,
+                            idx: i as u32,
+                            round: BOUND_ROUND,
+                        });
+                        has_entry[i] = true;
+                    }
+                }
+                None => {
+                    let p = profit.eval(ise, trigger, &state.shadow);
+                    evaluated += 1;
+                    debug_assert!(!p.is_nan(), "profit of {} is NaN", c.ise);
+                    if p > 0.0 {
+                        heap.push(LazyEntry {
+                            profit: p,
+                            ise: c.ise,
+                            idx: i as u32,
+                            round,
+                        });
+                        has_entry[i] = true;
                     }
                 }
             }
+        }
+        if !alive.is_empty() {
+            modeled += alive.len() as u64;
+            // Entries in the heap whose candidate is still admissible.
+            // Admissibility is frozen between commits, so the count stays
+            // exact: a pop of an admissible entry decrements it, a re-push
+            // increments it, and each commit recomputes it from `alive`.
+            // When it reaches zero no pop can ever produce a winner or an
+            // evaluation, so the remaining (dead) entries need not be
+            // popped at all — the next block's `heap.clear()` discards
+            // them wholesale. This skips the former end-of-selection heap
+            // drain, which sifted a few hundred entries per block just to
+            // throw them away.
+            let mut live = heap.len();
             loop {
                 // Exact arg-max: pop until the top is fresh (or provably
                 // dominant after re-evaluation).
                 let winner = loop {
+                    if live == 0 {
+                        break None;
+                    }
                     let Some(top) = heap.pop() else { break None };
+                    has_entry[top.idx as usize] = false;
                     // Kernels never regain admissibility and the budget
                     // only shrinks: inadmissible entries are gone for good.
-                    if !admissible_cached(&state, &mut demand_cache, top.idx) {
+                    if !admissible_cached(
+                        &state,
+                        &mut demand_cache,
+                        &mut unit_state,
+                        top.idx as usize,
+                    ) {
                         continue;
                     }
+                    live -= 1;
                     if top.round == round {
                         break Some(top);
                     }
-                    let p = profit.eval(top.ise, candidates[top.idx].trigger, &state.shadow);
+                    let ise = catalog.ise(top.ise).expect("catalogue ids are dense");
+                    let p = profit.eval(
+                        ise,
+                        &triggers[candidates[top.idx as usize].trigger as usize],
+                        &state.shadow,
+                    );
                     evaluated += 1;
                     debug_assert!(
                         p <= top.profit + 1e-6 + top.profit.abs() * 1e-9,
                         "profit monotonicity violated for {}: {} (stale) -> {} (fresh)",
-                        top.ise.id(),
+                        top.ise,
                         top.profit,
                         p
                     );
@@ -549,43 +813,60 @@ pub fn select_ises_with(
                     // A fresh key that still beats the next (stale ⇒ upper
                     // bound) key beats every fresh profit in the heap.
                     match heap.peek() {
-                        Some(next) if fresh.cmp(next) == Ordering::Less => heap.push(fresh),
+                        Some(next) if fresh.cmp(next) == Ordering::Less => {
+                            has_entry[fresh.idx as usize] = true;
+                            live += 1;
+                            heap.push(fresh);
+                        }
                         _ => break Some(fresh),
                     }
                 };
                 let Some(winner) = winner else { break };
-                state.commit(winner.ise, winner.profit, resident);
+                let winner_ise = catalog.ise(winner.ise).expect("catalogue ids are dense");
+                state.commit(winner_ise, winner.profit, resident);
                 profit.invalidate();
                 round += 1;
                 // Cost-model replica of the reference loop's next round:
                 // same retain, same per-survivor evaluation charge.
-                alive.retain(|&i| admissible_cached(&state, &mut demand_cache, i));
+                alive.retain(|&i| admissible_cached(&state, &mut demand_cache, &mut unit_state, i));
                 if alive.is_empty() {
                     break;
                 }
                 modeled += alive.len() as u64;
+                live = alive.iter().filter(|&&i| has_entry[i]).count();
             }
         }
+        scratch.demand_cache = demand_cache;
+        scratch.unit_state = unit_state;
+        scratch.has_entry = has_entry;
+        scratch.alive = alive;
+        scratch.heap = heap;
     }
 
     // Selections are one per kernel and few: a linear scan per forecast
     // kernel beats building a hash map.
-    let choices = forecast
-        .iter()
-        .map(|t| {
-            let sel = state
-                .selected
-                .iter()
-                .find(|s| s.kernel == t.kernel)
-                .map(|s| s.ise);
-            (t.kernel, sel)
-        })
-        .collect();
+    let mut choices = std::mem::take(&mut scratch.choices_spare);
+    choices.clear();
+    choices.extend(triggers.iter().map(|t| {
+        let sel = state
+            .selected
+            .iter()
+            .find(|s| s.kernel == t.kernel)
+            .map(|s| s.ise);
+        (t.kernel, sel)
+    }));
     let total_profit = state.selected.iter().map(|s| s.profit).sum();
     let overhead_cycles = Cycles::new(
         config.base_cycles_per_kernel * forecast.kernel_count() as u64
             + config.cycles_per_candidate * modeled,
     );
+
+    // Hand every working buffer back to the arena for the next block.
+    scratch.candidates = candidates;
+    scratch.pending_ids = state.pending_ids;
+    scratch.shadow = state.shadow;
+    scratch.selected_kernels = state.selected_kernels;
+
     Selection {
         choices,
         selected: state.selected,

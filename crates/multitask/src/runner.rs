@@ -114,6 +114,16 @@ pub struct MultitaskConfig {
     /// loans when laxity recovers. A no-op when no tenant has an SLO, so
     /// the default `true` leaves SLO-free runs bit-identical.
     pub degrade: bool,
+    /// Worker threads for the intra-run parallel phases (`1` = fully
+    /// serial). The block-dispatch loop itself is inherently sequential —
+    /// every scheduler pick depends on the outcome of the previous block
+    /// through the shared clock — so the workers parallelise the phase
+    /// where tenants *are* independent: the per-tenant setup barrier
+    /// before the shared clock starts (solo RISC baselines, each a full
+    /// trace simulation, plus the remaining-demand suffix sums). Results
+    /// merge in tenant-index order at the barrier, so the output is
+    /// byte-identical to the serial run for any worker count.
+    pub workers: usize,
 }
 
 impl Default for MultitaskConfig {
@@ -128,6 +138,7 @@ impl Default for MultitaskConfig {
             repartition_min_demand: Cycles::new(50_000_000),
             admission: AdmissionPolicy::Off,
             degrade: true,
+            workers: 1,
         }
     }
 }
@@ -446,6 +457,65 @@ fn demand_suffix(catalog: &IseCatalog, trace: &Trace) -> Vec<u64> {
     suffix
 }
 
+/// The per-tenant outputs of the parallel setup barrier (see
+/// [`MultitaskConfig::workers`]).
+struct TenantPrep {
+    /// The tenant's solo RISC-only wall-clock time: the numerator of its
+    /// speedup and of the aggregate speedup.
+    risc_baseline: Cycles,
+    /// Remaining-RISC-work suffix sums (the dynamic arbiter's weights).
+    demand_suffix: Vec<u64>,
+}
+
+/// The independent (pre-shared-clock) part of one tenant's setup: a full
+/// solo RISC-only trace simulation plus the demand suffix sums.
+fn prep_one(params: &ArchParams, spec: &TenantSpec<'_>) -> Result<TenantPrep, MultitaskError> {
+    let risc_baseline = Simulator::run(
+        spec.catalog,
+        Machine::new(params.clone(), Resources::NONE)?,
+        spec.trace,
+        &mut RiscOnlyPolicy::new(),
+    )
+    .total_makespan();
+    Ok(TenantPrep {
+        risc_baseline,
+        demand_suffix: demand_suffix(spec.catalog, spec.trace),
+    })
+}
+
+/// Runs [`prep_one`] for every tenant, striping the tenant list across
+/// `workers` scoped threads when `workers > 1`. Each worker owns one
+/// contiguous chunk of the results vector, and the scope join is the
+/// barrier at which the chunks merge back in tenant-index order — the
+/// `(time, tenant)` merge degenerates to plain tenant order here because
+/// every prep happens at time zero, before the shared clock exists. The
+/// returned vector is therefore byte-identical for any worker count.
+fn prepare_tenants(
+    params: &ArchParams,
+    specs: &[TenantSpec<'_>],
+    workers: usize,
+) -> Vec<Result<TenantPrep, MultitaskError>> {
+    let workers = workers.clamp(1, specs.len().max(1));
+    if workers == 1 {
+        return specs.iter().map(|s| prep_one(params, s)).collect();
+    }
+    let mut out: Vec<Option<Result<TenantPrep, MultitaskError>>> =
+        specs.iter().map(|_| None).collect();
+    let chunk = specs.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (spec_chunk, out_chunk) in specs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (spec, slot) in spec_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(prep_one(params, spec));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every tenant stripe was processed"))
+        .collect()
+}
+
 /// What demoting tenant `v` would free: the shallowest ladder level below
 /// its current one whose cap of `v`'s *entitlement* (grant plus fabric
 /// loaned out minus fabric loaned in — so nested demotions halve the
@@ -691,8 +761,19 @@ fn run_inner(
     let mut arbiter = FabricArbiter::new(cfg.arbiter, pool, &weights);
     let mut scheduler = cfg.scheduler.build(&weights);
 
+    // Per-tenant setup: the one phase of a multi-tenant run where tenants
+    // are fully independent of each other (no shared clock, no arbiter
+    // state) — `cfg.workers` scoped threads each take a contiguous stripe
+    // of tenants and the results merge back in tenant-index order at the
+    // scope's join barrier, before the shared clock starts ticking.
+    let preps = prepare_tenants(&params, specs, cfg.workers);
+
     let mut tenants: Vec<Tenant<'_>> = Vec::with_capacity(specs.len());
-    for (i, spec) in specs.iter().enumerate() {
+    for ((i, spec), prep) in specs.iter().enumerate().zip(preps) {
+        let TenantPrep {
+            risc_baseline,
+            demand_suffix,
+        } = prep?;
         let slice = arbiter.grant(i);
         let mut machine = match &spec.fault_model {
             Some(fm) => Machine::with_fault_model(params.clone(), Resources::NONE, fm.clone())?,
@@ -703,15 +784,6 @@ fn run_inner(
         let mut policy = make_policy(&cfg.policy, spec.catalog, slice, &totals)
             .map_err(MultitaskError::Policy)?;
         policy.set_resource_slice(Some(slice));
-        // The tenant's solo RISC-only wall-clock time: the numerator of its
-        // speedup and of the aggregate speedup.
-        let risc_baseline = Simulator::run(
-            spec.catalog,
-            Machine::new(params.clone(), Resources::NONE)?,
-            spec.trace,
-            &mut RiscOnlyPolicy::new(),
-        )
-        .total_makespan();
         let run = RunStats {
             policy: policy.name(),
             ..RunStats::default()
@@ -731,7 +803,7 @@ fn run_inner(
             catalog: spec.catalog,
             trace: spec.trace,
             cursor: 0,
-            demand_suffix: demand_suffix(spec.catalog, spec.trace),
+            demand_suffix,
             exhausted_blocks: 0,
             slo: spec.slo,
             arrival: Cycles::ZERO,
@@ -825,9 +897,16 @@ fn run_inner(
     // time-keeping across the single- and multi-tenant paths.
     let mut clock = Timeline::new();
     let mut last: Option<usize> = None;
+    // Scheduler-input scratch, refilled in place every dispatch so the
+    // steady-state loop allocates nothing (the engine-side twin of the
+    // selector's arena — see DESIGN §11).
+    let mut runnable: Vec<bool> = Vec::with_capacity(tenants.len());
+    let mut deadlines: Vec<Option<Cycles>> = Vec::with_capacity(tenants.len());
+    let mut laxities: Vec<Option<i128>> = Vec::with_capacity(tenants.len());
 
     loop {
-        let runnable: Vec<bool> = tenants.iter().map(Tenant::runnable).collect();
+        runnable.clear();
+        runnable.extend(tenants.iter().map(Tenant::runnable));
         if !runnable.contains(&true) {
             // Nothing admitted is runnable. An idle core with queued
             // sessions would be a livelock, so force the head of the
@@ -850,20 +929,20 @@ fn run_inner(
         // The deadline state the SLO-aware schedulers rank by; the
         // deadline-blind ones never look at it.
         let now = clock.now();
-        let deadlines: Vec<Option<Cycles>> = tenants
-            .iter()
-            .map(|x| {
-                if x.runnable() {
-                    x.next_deadline()
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let laxities: Vec<Option<i128>> = tenants
-            .iter()
-            .map(|x| if x.runnable() { x.laxity(now) } else { None })
-            .collect();
+        deadlines.clear();
+        deadlines.extend(tenants.iter().map(|x| {
+            if x.runnable() {
+                x.next_deadline()
+            } else {
+                None
+            }
+        }));
+        laxities.clear();
+        laxities.extend(
+            tenants
+                .iter()
+                .map(|x| if x.runnable() { x.laxity(now) } else { None }),
+        );
         let snap = SloSnapshot {
             deadlines: &deadlines,
             laxities: &laxities,

@@ -11,14 +11,14 @@
 //!
 //! [`BoundaryQueue`] keeps the exact same observable semantics (ascending
 //! dedup'd drain order, `false` on duplicate insert, monotone cursor
-//! scans) but takes inserts in O(1): timestamps are dropped into
-//! power-of-two-width cycle buckets (width 2^[`BUCKET_SHIFT`], direct
-//! mapped from the first-seen timestamp, far-future times sharing the
-//! overflow bucket) and each bucket is sorted only when a scan actually
-//! needs the total order. Because bucket index is monotone in the
-//! timestamp, draining buckets in index order after a per-bucket sort
-//! yields globally sorted output, which is merged into the settled run
-//! with one backward in-place merge. All scratch capacity is retained
+//! scans) but takes inserts in amortised O(1): timestamps are dropped
+//! into power-of-two-width cycle buckets (width 2^[`BUCKET_SHIFT`],
+//! direct mapped from the first-seen timestamp, far-future times sharing
+//! the overflow bucket), each bucket kept sorted by positional insert —
+//! the memmove touches one small bucket, not the whole queue. Because
+//! bucket index is monotone in the timestamp, draining buckets in index
+//! order yields globally sorted output, which is merged into the settled
+//! run with one backward in-place merge. All scratch capacity is retained
 //! across blocks, so steady-state operation allocates nothing.
 
 use mrts_arch::Cycles;
@@ -100,12 +100,18 @@ impl BoundaryQueue {
             self.base_bucket = t.get() >> BUCKET_SHIFT;
         }
         let i = self.bucket_of(t);
-        if self.buckets[i].contains(&t) {
-            return false;
+        // Each bucket is kept sorted: dedup is a binary search instead of a
+        // linear scan, and settle skips the per-bucket sort. Buckets are
+        // small (one block's boundaries spread over 64 of them), so the
+        // positional insert's memmove is a few cache lines at worst.
+        match self.buckets[i].binary_search(&t) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.buckets[i].insert(pos, t);
+                self.unsettled += 1;
+                true
+            }
         }
-        self.buckets[i].push(t);
-        self.unsettled += 1;
-        true
     }
 
     /// Number of distinct timestamps queued.
@@ -120,9 +126,9 @@ impl BoundaryQueue {
         self.len() == 0
     }
 
-    /// Folds every bucketed timestamp into the settled run: sort each
-    /// non-empty bucket, drain them in index order (globally sorted, since
-    /// bucket index is monotone in the timestamp), then one backward
+    /// Folds every bucketed timestamp into the settled run: drain the
+    /// (already sorted) buckets in index order — globally sorted, since
+    /// bucket index is monotone in the timestamp — then one backward
     /// in-place merge with the existing run.
     fn settle(&mut self) {
         if self.unsettled == 0 {
@@ -131,7 +137,7 @@ impl BoundaryQueue {
         self.scratch.clear();
         for b in &mut self.buckets {
             if !b.is_empty() {
-                b.sort_unstable();
+                debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "bucket kept sorted");
                 self.scratch.append(b);
             }
         }

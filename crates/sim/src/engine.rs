@@ -20,7 +20,9 @@
 //! plus the run-time system's own decision overhead — the quantity whose
 //! differences Eq. 5 maximizes.
 
-use crate::policy::{ExecContext, ExecMode, FaultEvent, RuntimePolicy, SelectionContext, SelectionIndex};
+use crate::policy::{
+    ExecContext, ExecMode, FaultEvent, RuntimePolicy, SelectionContext, SelectionIndex,
+};
 use crate::stats::{BlockStats, ExecClass, RunStats};
 use crate::timeline::{EventSink, RejectReason, SimEvent, Timeline};
 use mrts_arch::{ArchError, Cycles, FabricKind, FaultKind, Machine};
@@ -494,11 +496,15 @@ impl<'a> Simulator<'a> {
         let busy = if self.batches.classes.is_empty() {
             Cycles::ZERO
         } else {
-            stats.kernels.entry(activity.kernel).or_default().record_batch(
-                &self.batches.classes,
-                &self.batches.executions,
-                &self.batches.per_exec_cycles,
-            )
+            stats
+                .kernels
+                .entry(activity.kernel)
+                .or_default()
+                .record_batch(
+                    &self.batches.classes,
+                    &self.batches.executions,
+                    &self.batches.per_exec_cycles,
+                )
         };
         let faults = self.batches.fault_count();
         stats.degraded_executions += faults;
