@@ -7,12 +7,48 @@ use crate::offline::{LooselyCoupledPolicy, OfflineOptimalPolicy};
 use crate::optimal::OnlineOptimalPolicy;
 use crate::rispp::RisppPolicy;
 use mrts_arch::Resources;
-use mrts_core::Mrts;
+use mrts_core::{Mrts, MrtsConfig};
 use mrts_ise::IseCatalog;
 use mrts_sim::{RiscOnlyPolicy, RuntimePolicy};
 
 /// Every policy name [`make_policy`] accepts, in reporting order.
 pub const POLICY_NAMES: &[&str] = &["mrts", "risc", "rispp", "morpheus", "offline", "optimal"];
+
+/// Run-time tuning knobs shared by every front end (CLI, benches,
+/// multi-tenant runner). Only the `mrts` policy consumes them; the
+/// baselines have no equivalent knobs and silently ignore the struct.
+///
+/// The `Default` value reproduces the untuned [`make_policy`] behaviour
+/// exactly, so front ends can thread a `PolicyTuning` unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicyTuning {
+    /// Overrides the MPU's learning rate (`None` keeps the paper's 0.5).
+    /// Callers validate the 0.0..=1.0 range at parse time; out-of-range
+    /// values are clamped by the MPU anyway.
+    pub mpu_alpha: Option<f64>,
+    /// Enables the speculative reconfiguration prefetcher (DESIGN.md §12).
+    pub prefetch: bool,
+    /// Overrides the prefetcher's minimum nomination confidence (`None`
+    /// keeps the [`mrts_core::PrefetchConfig`] default). Ignored unless
+    /// `prefetch` is set.
+    pub prefetch_confidence: Option<f64>,
+}
+
+impl PolicyTuning {
+    /// The [`MrtsConfig`] these knobs select.
+    #[must_use]
+    pub fn mrts_config(&self) -> MrtsConfig {
+        let mut config = MrtsConfig::default();
+        if let Some(alpha) = self.mpu_alpha {
+            config.mpu_alpha = alpha;
+        }
+        config.prefetch.enabled = self.prefetch;
+        if let Some(c) = self.prefetch_confidence {
+            config.prefetch.confidence_min = c;
+        }
+        config
+    }
+}
 
 /// Builds a fresh, boxed run-time policy by name.
 ///
@@ -30,8 +66,25 @@ pub fn make_policy(
     capacity: Resources,
     totals: &ProfiledTotals,
 ) -> Result<Box<dyn RuntimePolicy>, String> {
+    make_policy_tuned(name, catalog, capacity, totals, PolicyTuning::default())
+}
+
+/// [`make_policy`] with explicit mRTS tuning knobs (MPU learning rate,
+/// speculative prefetch). `PolicyTuning::default()` builds the same
+/// instances as [`make_policy`].
+///
+/// # Errors
+///
+/// Returns a message listing the accepted names if `name` is unknown.
+pub fn make_policy_tuned(
+    name: &str,
+    catalog: &IseCatalog,
+    capacity: Resources,
+    totals: &ProfiledTotals,
+    tuning: PolicyTuning,
+) -> Result<Box<dyn RuntimePolicy>, String> {
     match name {
-        "mrts" => Ok(Box::new(Mrts::new())),
+        "mrts" => Ok(Box::new(Mrts::with_config(tuning.mrts_config()))),
         "risc" => Ok(Box::new(RiscOnlyPolicy::new())),
         "rispp" => Ok(Box::new(RisppPolicy::new())),
         "morpheus" => Ok(Box::new(LooselyCoupledPolicy::new(

@@ -319,6 +319,7 @@ impl RuntimePolicy for OnlineOptimalPolicy {
             selections: selection.choices,
             evict,
             load_order,
+            prefetch: Vec::new(),
             overhead: Cycles::ZERO,
         }
     }

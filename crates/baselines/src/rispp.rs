@@ -113,6 +113,7 @@ impl RuntimePolicy for RisppPolicy {
             selections: selection.choices,
             evict,
             load_order: selection.load_order,
+            prefetch: Vec::new(),
             overhead: Cycles::new(selection.overhead_cycles.get() / kernels),
         }
     }

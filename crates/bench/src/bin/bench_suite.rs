@@ -33,7 +33,7 @@ use std::time::Instant;
 use mrts_arch::{ArchParams, Cycles, ReconfigurationController, Resources};
 use mrts_bench::{fig8_combos, par, print_header, Testbed, DEFAULT_SEED};
 use mrts_core::selector::{select_ises, SelectorConfig};
-use mrts_core::Mrts;
+use mrts_core::{Mrts, MrtsConfig, PrefetchConfig};
 use mrts_ise::{BlockId, IseCatalog, TriggerBlock, TriggerInstruction, UnitId};
 use mrts_multitask::{run_multitask, MultitaskConfig, TenantSpec};
 use mrts_sim::{ExecClass, KernelStats, Simulator, Timeline, VecSink};
@@ -150,41 +150,55 @@ fn main() {
     let serial_start = Instant::now();
     let serial = par::map_ordered(1, &combos, |_, &c| tb.run_fig8_contenders(c));
     let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
-    let par_start = Instant::now();
-    let parallel = par::map_ordered(par_threads, &combos, |_, &c| tb.run_fig8_contenders(c));
-    let par_ms = par_start.elapsed().as_secs_f64() * 1e3;
-    // Determinism cross-check while we have both result sets in hand.
-    for (s, p) in serial.iter().zip(&parallel) {
-        assert_eq!(
-            s.4.total_execution_time(),
-            p.4.total_execution_time(),
-            "parallel sweep diverged from serial"
-        );
-    }
-    let speedup = serial_ms / par_ms.max(1e-9);
-    println!(
-        "fig8 sweep ({} combos): serial {serial_ms:>8.1} ms, parallel {par_ms:>8.1} ms \
-         ({par_threads} threads, {speedup:.2}x)",
-        combos.len()
-    );
     entries.push(Entry {
         name: "fig8_sweep_serial_ms",
         value: serial_ms,
         unit: "ms",
         threads: 1,
     });
-    entries.push(Entry {
-        name: "fig8_sweep_parallel_ms",
-        value: par_ms,
-        unit: "ms",
-        threads: par_threads,
-    });
-    entries.push(Entry {
-        name: "fig8_sweep_speedup",
-        value: speedup,
-        unit: "x",
-        threads: par_threads,
-    });
+    if par_threads > 1 {
+        let par_start = Instant::now();
+        let parallel = par::map_ordered(par_threads, &combos, |_, &c| tb.run_fig8_contenders(c));
+        let par_ms = par_start.elapsed().as_secs_f64() * 1e3;
+        // Determinism cross-check while we have both result sets in hand.
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.4.total_execution_time(),
+                p.4.total_execution_time(),
+                "parallel sweep diverged from serial"
+            );
+        }
+        let speedup = serial_ms / par_ms.max(1e-9);
+        println!(
+            "fig8 sweep ({} combos): serial {serial_ms:>8.1} ms, parallel {par_ms:>8.1} ms \
+             ({par_threads} threads, {speedup:.2}x)",
+            combos.len()
+        );
+        entries.push(Entry {
+            name: "fig8_sweep_parallel_ms",
+            value: par_ms,
+            unit: "ms",
+            threads: par_threads,
+        });
+        entries.push(Entry {
+            name: "fig8_sweep_speedup",
+            value: speedup,
+            unit: "x",
+            threads: par_threads,
+        });
+    } else {
+        // One worker: `par::map_ordered` would take the very same serial
+        // path, so a second timed pass measures nothing but allocator and
+        // cache noise — on single-CPU boxes it used to print a sub-1.0
+        // "speedup" that `--compare` could mistake for a regression. Skip
+        // the pass and the `fig8_sweep_parallel_ms` / `fig8_sweep_speedup`
+        // entries entirely (diff tools treat absent entries as skipped).
+        println!(
+            "fig8 sweep ({} combos): serial {serial_ms:>8.1} ms \
+             (1 thread — parallel pass and speedup entries skipped)",
+            combos.len()
+        );
+    }
 
     // --- 2. Per-selection cost: lazy-greedy vs full-rescan oracle -------
     let reps = if quick { 50 } else { 2_000 };
@@ -452,17 +466,82 @@ fn main() {
         mt_stats, mt_par_stats,
         "intra-run workers perturbed the multitask run"
     );
-    let mt_parallel_speedup = mt_per_run / mt_par_run.max(1e-12);
+    // The byte-identity assertion above is the valuable part and always
+    // runs; the wall-clock ratio is only a meaningful "speedup" when the
+    // box actually has more than one core to stripe the workers across.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores > 1 {
+        let mt_parallel_speedup = mt_per_run / mt_par_run.max(1e-12);
+        println!(
+            "multitask workers=4: {:.1} ms per run -> {mt_parallel_speedup:.2}x vs serial \
+             (byte-identical stats)",
+            mt_par_run * 1e3
+        );
+        entries.push(Entry {
+            name: "multitask_parallel_speedup",
+            value: mt_parallel_speedup,
+            unit: "x",
+            threads: 4,
+        });
+    } else {
+        println!(
+            "multitask workers=4: {:.1} ms per run (byte-identical stats; \
+             single CPU — speedup entry skipped)",
+            mt_par_run * 1e3
+        );
+    }
+
+    // --- 5. Speculative prefetch: hit rate and end-to-end speedup -------
+    // Trigger-time mRTS vs the same run-time system with the speculative
+    // prefetcher armed, on a fabric with spare PRCs (speculation only
+    // takes slots the committed plan left free, so the paper-sized 2+2
+    // machine would never issue). Both numbers are deterministic,
+    // machine-independent tripwires: the hit rate pins the predictor +
+    // judgment pipeline, the speedup pins the never-slower guarantee
+    // (engine rolls back to exact trigger-time state on misprediction).
+    let pf_combo = Resources::new(2, 16);
+    let base_stats = {
+        let mut policy = Mrts::new();
+        let mut sim = Simulator::new(&tb.catalog, tb.machine(pf_combo));
+        sim.run_trace(&tb.trace, &mut policy)
+    };
+    let pf_cfg = MrtsConfig {
+        prefetch: PrefetchConfig {
+            enabled: true,
+            confidence_min: 0.5,
+            ..PrefetchConfig::default()
+        },
+        ..MrtsConfig::default()
+    };
+    let mut pf_sim = Simulator::new(&tb.catalog, tb.machine(pf_combo));
+    let pf_stats = pf_sim.run_trace(&tb.trace, &mut Mrts::with_config(pf_cfg));
+    pf_sim.finish_events(); // close end-of-trace speculations as wasted
+    let pf = pf_sim.prefetch_stats();
+    let prefetch_speedup = base_stats.total_execution_time().get() as f64
+        / pf_stats.total_execution_time().get().max(1) as f64;
+    assert!(
+        prefetch_speedup >= 1.0,
+        "prefetch-on run slower than trigger-time ({prefetch_speedup:.4}x)"
+    );
     println!(
-        "multitask workers=4: {:.1} ms per run -> {mt_parallel_speedup:.2}x vs serial \
-         (byte-identical stats)",
-        mt_par_run * 1e3
+        "prefetch (2 CG + 16 PRC): {} issued, {} hits ({:.0}% hit rate), \
+         {} wasted -> {prefetch_speedup:.4}x vs trigger-time",
+        pf.issued,
+        pf.hits,
+        100.0 * pf.hit_rate(),
+        pf.wasted
     );
     entries.push(Entry {
-        name: "multitask_parallel_speedup",
-        value: mt_parallel_speedup,
+        name: "prefetch_hit_rate",
+        value: pf.hit_rate(),
+        unit: "ratio",
+        threads: 1,
+    });
+    entries.push(Entry {
+        name: "prefetch_speedup",
+        value: prefetch_speedup,
         unit: "x",
-        threads: 4,
+        threads: 1,
     });
 
     // --- Write BENCH_perf.json (stable field order, hand-rendered) ------

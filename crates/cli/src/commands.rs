@@ -2,15 +2,15 @@
 
 use crate::args::Args;
 use mrts_arch::{ArchParams, Cycles, FabricKind, FaultModel, Machine, Resources};
-use mrts_baselines::{make_policy, ProfiledTotals};
+use mrts_baselines::{make_policy_tuned, PolicyTuning, ProfiledTotals};
 use mrts_ise::{Ise, IseCatalog};
 use mrts_multitask::{
     run_multitask, run_multitask_with_events, AdmissionPolicy, ArbiterPolicy, MultitaskConfig,
     SchedulerKind, Slo, TenantSpec,
 };
 use mrts_sim::{
-    events_to_jsonl, ExecClass, MultitaskStats, RecoveryConfig, RiscOnlyPolicy, RunStats,
-    RuntimePolicy, Simulator, VecSink,
+    events_to_jsonl, ExecClass, MultitaskStats, PrefetchStats, RecoveryConfig, RiscOnlyPolicy,
+    RunStats, RuntimePolicy, Simulator, VecSink,
 };
 use mrts_workload::apps::{CipherApp, FftApp};
 use mrts_workload::h264::H264Encoder;
@@ -47,8 +47,40 @@ fn policy(
     catalog: &IseCatalog,
     capacity: Resources,
     totals: &ProfiledTotals,
+    tuning: PolicyTuning,
 ) -> Result<Box<dyn RuntimePolicy>, String> {
-    make_policy(name, catalog, capacity, totals)
+    make_policy_tuned(name, catalog, capacity, totals, tuning)
+}
+
+/// Parses the shared mRTS tuning flags (`--mpu-alpha`, `--prefetch`,
+/// `--prefetch-confidence`), validating ranges at parse time so a typo
+/// fails fast instead of being silently clamped mid-run.
+fn tuning_from_args(args: &Args) -> Result<PolicyTuning, Box<dyn std::error::Error>> {
+    let mut tuning = PolicyTuning::default();
+    if let Some(raw) = args.get("mpu-alpha") {
+        let alpha: f64 = raw
+            .parse()
+            .map_err(|_| format!("--mpu-alpha: cannot parse '{raw}'"))?;
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(format!("--mpu-alpha {alpha} must be within [0, 1]").into());
+        }
+        tuning.mpu_alpha = Some(alpha);
+    }
+    tuning.prefetch = match args.get_or("prefetch", "off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --prefetch '{other}' (on|off)").into()),
+    };
+    if let Some(raw) = args.get("prefetch-confidence") {
+        let c: f64 = raw
+            .parse()
+            .map_err(|_| format!("--prefetch-confidence: cannot parse '{raw}'"))?;
+        if !(0.0..=1.0).contains(&c) {
+            return Err(format!("--prefetch-confidence {c} must be within [0, 1]").into());
+        }
+        tuning.prefetch_confidence = Some(c);
+    }
+    Ok(tuning)
 }
 
 /// `mrts-cli catalog` — inspect the compile-time ISE catalogue.
@@ -122,10 +154,11 @@ fn simulate_once(
     policy_name: &str,
     recovery: RecoveryConfig,
     record: bool,
-) -> Result<(RunStats, Option<String>), Box<dyn std::error::Error>> {
+    tuning: PolicyTuning,
+) -> Result<(RunStats, Option<String>, PrefetchStats), Box<dyn std::error::Error>> {
     let machine = Machine::with_fault_model(ArchParams::default(), combo, fault)?;
     let capacity = machine.capacity();
-    let mut p = policy(policy_name, catalog, capacity, totals)?;
+    let mut p = policy(policy_name, catalog, capacity, totals, tuning)?;
     let mut sim = Simulator::new(catalog, machine).with_recovery(recovery);
     let sink = if record {
         let sink = VecSink::new();
@@ -140,7 +173,7 @@ fn simulate_once(
         Some(s) => Some(events_to_jsonl(&s.take())?),
         None => None,
     };
-    Ok((stats, jsonl))
+    Ok((stats, jsonl, sim.prefetch_stats()))
 }
 
 /// `mrts-cli simulate` — one app, one machine, one policy.
@@ -156,6 +189,9 @@ pub fn simulate(args: &Args) -> CliResult {
         "retry-budget",
         "events-out",
         "threads",
+        "mpu-alpha",
+        "prefetch",
+        "prefetch-confidence",
     ])?;
     let (_, catalog, trace) = build(args)?;
     let combo = Resources::new(args.get_num("cg", 2)?, args.get_num("prc", 2)?);
@@ -169,6 +205,7 @@ pub fn simulate(args: &Args) -> CliResult {
         ..RecoveryConfig::default()
     };
     let policy_name = args.get_or("policy", "mrts");
+    let tuning = tuning_from_args(args)?;
     let events_out = args.get("events-out");
     let threads: usize = args.get_num("threads", 1)?;
     if threads == 0 {
@@ -176,11 +213,11 @@ pub fn simulate(args: &Args) -> CliResult {
     }
     let record = events_out.is_some() || threads > 1;
 
-    let (stats, jsonl) = if threads > 1 {
+    let (stats, jsonl, prefetch) = if threads > 1 {
         // Replay the identical configuration on `threads` OS threads and
         // demand byte-identical statistics and event logs. The simulator
         // is deterministic by construction; this is the executable proof.
-        let runs: Vec<(RunStats, Option<String>)> = std::thread::scope(|scope| {
+        let runs: Vec<(RunStats, Option<String>, PrefetchStats)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
@@ -193,6 +230,7 @@ pub fn simulate(args: &Args) -> CliResult {
                             policy_name,
                             recovery,
                             record,
+                            tuning,
                         )
                         .map_err(|e| e.to_string())
                     })
@@ -205,8 +243,11 @@ pub fn simulate(args: &Args) -> CliResult {
         })
         .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
         let first_stats = serde_json::to_string(&runs[0].0)?;
-        for (i, (stats, jsonl)) in runs.iter().enumerate().skip(1) {
-            if serde_json::to_string(stats)? != first_stats || *jsonl != runs[0].1 {
+        for (i, (stats, jsonl, pf)) in runs.iter().enumerate().skip(1) {
+            if serde_json::to_string(stats)? != first_stats
+                || *jsonl != runs[0].1
+                || *pf != runs[0].2
+            {
                 return Err(
                     format!("determinism violation: thread {i} diverged from thread 0").into(),
                 );
@@ -226,6 +267,7 @@ pub fn simulate(args: &Args) -> CliResult {
             policy_name,
             recovery,
             record,
+            tuning,
         )?
     };
     if let (Some(path), Some(log)) = (events_out, &jsonl) {
@@ -257,6 +299,15 @@ pub fn simulate(args: &Args) -> CliResult {
         "speedup  : {:.2}x vs RISC-mode",
         stats.speedup_vs(&risc).max(0.0)
     );
+    if tuning.prefetch {
+        println!(
+            "prefetch : {} issued, {} hits ({:.0}% hit rate), {} wasted",
+            prefetch.issued,
+            prefetch.hits,
+            100.0 * prefetch.hit_rate(),
+            prefetch.wasted
+        );
+    }
     println!("executions by implementation:");
     let h = stats.class_histogram();
     for class in ExecClass::ALL {
@@ -316,7 +367,7 @@ pub fn sweep(args: &Args) -> CliResult {
             let combo = Resources::new(cg, prc);
             let machine = Machine::new(ArchParams::default(), combo)?;
             let capacity = machine.capacity();
-            let mut p = policy(name, &catalog, capacity, &totals)?;
+            let mut p = policy(name, &catalog, capacity, &totals, PolicyTuning::default())?;
             let stats = Simulator::run(&catalog, machine, &trace, p.as_mut());
             let s = risc_ref.total_execution_time().get() as f64
                 / stats.total_execution_time().get().max(1) as f64;
@@ -354,6 +405,9 @@ pub fn multitask(args: &Args) -> CliResult {
         "fault-seed",
         "events-out",
         "threads",
+        "mpu-alpha",
+        "prefetch",
+        "prefetch-confidence",
     ])?;
     let names: Vec<&str> = args.get_or("apps", "h264,fft").split(',').collect();
     let weights: Vec<u64> = match args.get("weights") {
@@ -430,6 +484,7 @@ pub fn multitask(args: &Args) -> CliResult {
         scheduler: args.get_or("sched", "wfq").parse::<SchedulerKind>()?,
         admission: args.get_or("admission", "off").parse::<AdmissionPolicy>()?,
         degrade,
+        tuning: tuning_from_args(args)?,
         ..MultitaskConfig::default()
     };
     let budget = Resources::new(args.get_num("cg", 2)?, args.get_num("prc", 2)?);

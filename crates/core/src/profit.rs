@@ -201,7 +201,7 @@ pub struct ProfitEvalBuffers {
     memo: ProfitMemo,
     /// `risc_latency − full_latency` per [`IseId`] — the per-execution
     /// ceiling of Eq. 4, a run-constant of the catalogue. Filled by
-    /// [`ProfitEvalBuffers::rebind_catalog`] so [`ProfitFn::upper_bound`]
+    /// [`ProfitEvalBuffers::rebind_catalog`] so [`ProfitFn::upper_bound`](crate::selector::ProfitFn::upper_bound)
     /// is a table lookup instead of a stage walk per candidate per block.
     bound_base: Vec<f64>,
     /// Identity of the catalogue `bound_base` was computed from (ISE slice
@@ -213,7 +213,7 @@ pub struct ProfitEvalBuffers {
 impl ProfitEvalBuffers {
     /// (Re)computes `bound_base` if `catalog` differs from the catalogue
     /// the table was built from. Cost on change: one stage walk per ISE —
-    /// the same work [`ProfitFn::upper_bound`] previously did per block.
+    /// the same work [`ProfitFn::upper_bound`](crate::selector::ProfitFn::upper_bound) previously did per block.
     pub fn rebind_catalog(&mut self, catalog: &mrts_ise::IseCatalog) {
         let ises = catalog.ises();
         let key = (ises.as_ptr() as usize, ises.len());

@@ -22,7 +22,7 @@ use crate::arbiter::{ArbiterPolicy, FabricArbiter};
 use crate::scheduler::SchedulerKind;
 use crate::slo::{ladder_cap, Criticality, Slo, SloSnapshot, LADDER_BOTTOM};
 use mrts_arch::{ArchError, ArchParams, Cycles, FaultModel, Machine, Resources, SwitchCosts};
-use mrts_baselines::{make_policy, ProfiledTotals};
+use mrts_baselines::{make_policy_tuned, PolicyTuning, ProfiledTotals};
 use mrts_ise::{IseCatalog, KernelId};
 use mrts_sim::timeline::{EventSink, SimEvent, Timeline, VecSink};
 use mrts_sim::{MultitaskStats, RiscOnlyPolicy, RunStats, RuntimePolicy, Simulator, TenantStats};
@@ -124,6 +124,10 @@ pub struct MultitaskConfig {
     /// merge in tenant-index order at the barrier, so the output is
     /// byte-identical to the serial run for any worker count.
     pub workers: usize,
+    /// mRTS tuning knobs (MPU learning rate, speculative prefetch),
+    /// applied identically to every tenant's policy instance. Ignored by
+    /// the baseline policies. The default is the untuned configuration.
+    pub tuning: PolicyTuning,
 }
 
 impl Default for MultitaskConfig {
@@ -139,6 +143,7 @@ impl Default for MultitaskConfig {
             admission: AdmissionPolicy::Off,
             degrade: true,
             workers: 1,
+            tuning: PolicyTuning::default(),
         }
     }
 }
@@ -781,7 +786,7 @@ fn run_inner(
         };
         let _ = machine.resize_capacity(slice);
         let totals = ProfiledTotals::from_trace(spec.trace);
-        let mut policy = make_policy(&cfg.policy, spec.catalog, slice, &totals)
+        let mut policy = make_policy_tuned(&cfg.policy, spec.catalog, slice, &totals, cfg.tuning)
             .map_err(MultitaskError::Policy)?;
         policy.set_resource_slice(Some(slice));
         let run = RunStats {

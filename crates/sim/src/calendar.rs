@@ -12,7 +12,7 @@
 //! [`BoundaryQueue`] keeps the exact same observable semantics (ascending
 //! dedup'd drain order, `false` on duplicate insert, monotone cursor
 //! scans) but takes inserts in amortised O(1): timestamps are dropped
-//! into power-of-two-width cycle buckets (width 2^[`BUCKET_SHIFT`],
+//! into power-of-two-width cycle buckets (width 2^`BUCKET_SHIFT`,
 //! direct mapped from the first-seen timestamp, far-future times sharing
 //! the overflow bucket), each bucket kept sorted by positional insert —
 //! the memmove touches one small bucket, not the whole queue. Because
