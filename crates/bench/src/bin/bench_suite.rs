@@ -16,9 +16,10 @@
 //!   parallel sweep measurement (the serial one always uses 1).
 //! * `--out PATH` — where to write the JSON (default `BENCH_perf.json`).
 //! * `--compare PATH` — perf-regression guard: read a baseline
-//!   `BENCH_perf.json` and exit non-zero if `engine_step_us` or
-//!   `simulator_throughput` regressed by more than 25 % (a deliberately
-//!   tolerant threshold — CI boxes are noisy, single-CPU).
+//!   `BENCH_perf.json` and exit non-zero if `engine_step_us`,
+//!   `simulator_throughput` or `fleet_sessions_per_sec` regressed by more
+//!   than 25 % (a deliberately tolerant threshold — CI boxes are noisy,
+//!   single-CPU).
 //!
 //! Wall-clock numbers depend on the machine; the `*_evals` entries are
 //! deterministic and act as machine-independent regression tripwires.
@@ -34,6 +35,7 @@ use mrts_arch::{ArchParams, Cycles, ReconfigurationController, Resources};
 use mrts_bench::{fig8_combos, par, print_header, Testbed, DEFAULT_SEED};
 use mrts_core::selector::{select_ises, SelectorConfig};
 use mrts_core::{Mrts, MrtsConfig, PrefetchConfig};
+use mrts_fleet::{run_fleet, AppRegistry, FleetConfig, PoissonConfig};
 use mrts_ise::{BlockId, IseCatalog, TriggerBlock, TriggerInstruction, UnitId};
 use mrts_multitask::{run_multitask, MultitaskConfig, TenantSpec};
 use mrts_sim::{ExecClass, KernelStats, Simulator, Timeline, VecSink};
@@ -491,6 +493,50 @@ fn main() {
         );
     }
 
+    // --- 4c. Fleet driver throughput ------------------------------------
+    // Sessions retired per wall-clock second by the `mrts-fleet` open-loop
+    // driver on its default config (2 fabrics x 4 lanes, toy sessions,
+    // Poisson arrivals): arrival generation + admission + placement +
+    // shard stepping + stats folding, end to end. The accepted count is
+    // the deterministic machine-independent tripwire next to the
+    // wall-clock rate.
+    let fl_sessions = if quick { 500 } else { 2_000 };
+    let fl_registry = AppRegistry::new(&ArchParams::default(), &["toy"], 4, DEFAULT_SEED, 40)
+        .expect("toy registry");
+    let fl_records = mrts_fleet::poisson_arrivals(&PoissonConfig {
+        sessions: fl_sessions,
+        ..PoissonConfig::default()
+    });
+    let fl_cfg = FleetConfig::default();
+    let fl_reps = if quick { 2 } else { 5 };
+    let mut fl_secs = f64::MAX;
+    let mut fl_accepted = 0u64;
+    for _ in 0..fl_reps {
+        let t = Instant::now();
+        let out = run_fleet(&ArchParams::default(), &fl_registry, &fl_records, &fl_cfg)
+            .expect("fleet run succeeds");
+        fl_secs = fl_secs.min(t.elapsed().as_secs_f64());
+        fl_accepted = out.stats.accepted;
+    }
+    let fleet_sessions_per_sec = fl_accepted as f64 / fl_secs.max(1e-12);
+    println!(
+        "fleet: {fl_sessions} toy sessions over 2 fabrics in {:.1} ms per run \
+         -> {fleet_sessions_per_sec:>8.0} sessions/s ({fl_accepted} accepted)",
+        fl_secs * 1e3
+    );
+    entries.push(Entry {
+        name: "fleet_sessions_per_sec",
+        value: fleet_sessions_per_sec,
+        unit: "sessions/s",
+        threads: 1,
+    });
+    entries.push(Entry {
+        name: "fleet_accepted_sessions",
+        value: fl_accepted as f64,
+        unit: "sessions",
+        threads: 1,
+    });
+
     // --- 5. Speculative prefetch: hit rate and end-to-end speedup -------
     // Trigger-time mRTS vs the same run-time system with the speculative
     // prefetcher armed, on a fabric with spare PRCs (speculation only
@@ -571,8 +617,11 @@ fn main() {
         // (entry, higher-is-better). 25 % tolerance: CI boxes are noisy
         // single-CPU machines; this catches structural regressions, not
         // scheduling jitter.
-        for (name, higher_is_better) in [("engine_step_us", false), ("simulator_throughput", true)]
-        {
+        for (name, higher_is_better) in [
+            ("engine_step_us", false),
+            ("simulator_throughput", true),
+            ("fleet_sessions_per_sec", true),
+        ] {
             let Some(old) = baseline_value(&baseline, name) else {
                 println!("compare: baseline has no '{name}' entry — skipped");
                 continue;

@@ -3,10 +3,14 @@
 use crate::args::Args;
 use mrts_arch::{ArchParams, Cycles, FabricKind, FaultModel, Machine, Resources};
 use mrts_baselines::{make_policy_tuned, PolicyTuning, ProfiledTotals};
+use mrts_fleet::{
+    poisson_arrivals, records_from_jsonl, records_to_jsonl, run_fleet, AppRegistry, FleetConfig,
+    FleetOutcome, Placement, PoissonConfig, SessionRecord,
+};
 use mrts_ise::{Ise, IseCatalog};
 use mrts_multitask::{
-    run_multitask, run_multitask_with_events, AdmissionPolicy, ArbiterPolicy, MultitaskConfig,
-    SchedulerKind, Slo, TenantSpec,
+    parse_tenant_specs, run_multitask, run_multitask_with_events, AdmissionPolicy, ArbiterPolicy,
+    MultitaskConfig, SchedulerKind, TenantSpec,
 };
 use mrts_sim::{
     events_to_jsonl, ExecClass, MultitaskStats, PrefetchStats, RecoveryConfig, RiscOnlyPolicy,
@@ -409,44 +413,13 @@ pub fn multitask(args: &Args) -> CliResult {
         "prefetch",
         "prefetch-confidence",
     ])?;
-    let names: Vec<&str> = args.get_or("apps", "h264,fft").split(',').collect();
-    let weights: Vec<u64> = match args.get("weights") {
-        None => vec![1; names.len()],
-        Some(w) => w
-            .split(',')
-            .map(|t| {
-                t.parse()
-                    .map_err(|_| format!("--weights: cannot parse '{t}'"))
-            })
-            .collect::<Result<_, _>>()?,
-    };
-    if weights.len() != names.len() {
-        return Err(format!(
-            "--weights lists {} values for {} apps",
-            weights.len(),
-            names.len()
-        )
-        .into());
-    }
-    // One optional SLO per app, parsed as `crit[:period[:session]]`
-    // ("hard:40000000", "soft:0:900000000", …); "-" or "none" leaves the
-    // tenant SLO-free.
-    let slos: Vec<Option<Slo>> = match args.get("slo") {
-        None => vec![None; names.len()],
-        Some(list) => list
-            .split(',')
-            .map(|t| match t {
-                "" | "-" | "none" => Ok(None),
-                t => t
-                    .parse::<Slo>()
-                    .map(Some)
-                    .map_err(|e| format!("--slo: {e}")),
-            })
-            .collect::<Result<_, _>>()?,
-    };
-    if slos.len() != names.len() {
-        return Err(format!("--slo lists {} values for {} apps", slos.len(), names.len()).into());
-    }
+    // The shared flag-triple parser (also the fleet's session-trace
+    // syntax): apps comma list, optional parallel weights/slo lists.
+    let requests = parse_tenant_specs(
+        args.get_or("apps", "h264,fft"),
+        args.get("weights"),
+        args.get("slo"),
+    )?;
     let seed: u64 = args.get_num("seed", 1)?;
     let fault_rate: f64 = args.get_num("fault-rate", 0.0)?;
     if !(0.0..=1.0).contains(&fault_rate) {
@@ -467,8 +440,8 @@ pub fn multitask(args: &Args) -> CliResult {
 
     // Tenant workloads are built first so the specs can borrow them.
     let mut built: Vec<(String, IseCatalog, Trace)> = Vec::new();
-    for (i, name) in names.iter().enumerate() {
-        let app = model(name)?;
+    for (i, req) in requests.iter().enumerate() {
+        let app = model(&req.app)?;
         let catalog = app
             .application()
             .build_catalog(ArchParams::default(), None)?;
@@ -497,18 +470,18 @@ pub fn multitask(args: &Args) -> CliResult {
      -> Result<(MultitaskStats, Option<String>), String> {
         let specs: Vec<TenantSpec<'_>> = built
             .iter()
-            .zip(&weights)
-            .zip(&slos)
+            .zip(&requests)
             .enumerate()
-            .map(|(i, (((name, catalog, trace), &w), &slo))| {
-                let mut spec = TenantSpec::new(name.clone(), catalog, trace).with_weight(w);
+            .map(|(i, ((name, catalog, trace), req))| {
+                let mut spec =
+                    TenantSpec::new(name.clone(), catalog, trace).with_weight(req.weight);
                 if fault_rate > 0.0 {
                     spec = spec.with_fault_model(FaultModel::new(
                         fault_rate,
                         fault_seed.wrapping_add(i as u64),
                     ));
                 }
-                if let Some(slo) = slo {
+                if let Some(slo) = req.slo {
                     spec = spec.with_slo(slo);
                 }
                 spec
@@ -595,6 +568,187 @@ pub fn multitask(args: &Args) -> CliResult {
             stats.tardiness_percentile(99, 100) as f64 / 1e6,
             stats.degrade_steps(),
             stats.promote_steps(),
+        );
+    }
+    Ok(())
+}
+
+/// `mrts-cli fleet` — a long-lived open-loop service over several fabric
+/// shards: seeded Poisson (or replayed JSONL) session arrivals, placement,
+/// streaming admission, churn, and fleet-level service statistics.
+pub fn fleet(args: &Args) -> CliResult {
+    args.expect_only(&[
+        "apps",
+        "weights",
+        "slo",
+        "seed",
+        "sessions",
+        "mean-gap",
+        "variants",
+        "max-blocks",
+        "fabrics",
+        "ways",
+        "queue-cap",
+        "placement",
+        "admission",
+        "arbiter",
+        "sched",
+        "policy",
+        "cg",
+        "prc",
+        "window",
+        "repart-min",
+        "arrivals-in",
+        "arrivals-out",
+        "events-out",
+        "threads",
+    ])?;
+    let params = ArchParams::default();
+    let seed: u64 = args.get_num("seed", 1)?;
+    let variants: u64 = args.get_num("variants", 4)?;
+    let max_blocks: usize = args.get_num("max-blocks", 40)?;
+    let threads: usize = args.get_num("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let events_out = args.get("events-out");
+    let record = events_out.is_some() || threads > 1;
+
+    // The arrival list: replayed from JSONL, or freshly generated from the
+    // seeded Poisson process over the --apps/--weights/--slo mix.
+    let records: Vec<SessionRecord> = match args.get("arrivals-in") {
+        Some(path) => records_from_jsonl(&std::fs::read_to_string(path)?)?,
+        None => {
+            let mix = parse_tenant_specs(
+                args.get_or("apps", "toy"),
+                args.get("weights"),
+                args.get("slo"),
+            )?;
+            poisson_arrivals(&PoissonConfig {
+                seed,
+                sessions: args.get_num("sessions", 1000)?,
+                mean_gap: args.get_num("mean-gap", 150_000)?,
+                mix,
+                variants,
+            })
+        }
+    };
+    if let Some(path) = args.get("arrivals-out") {
+        let jsonl = records_to_jsonl(&records)?;
+        std::fs::write(path, &jsonl)?;
+        println!(
+            "arrivals : wrote {} records ({} bytes) to {path}",
+            records.len(),
+            jsonl.len()
+        );
+    }
+
+    // One registry entry per distinct app in the arrival list; the
+    // registry (catalogues, trace variants, session preps) is immutable
+    // shared state, safe to run replay threads against.
+    let mut apps: Vec<&str> = Vec::new();
+    for r in &records {
+        if !apps.contains(&r.app.as_str()) {
+            apps.push(&r.app);
+        }
+    }
+    if apps.is_empty() {
+        return Err("the arrival list is empty".into());
+    }
+    let registry = AppRegistry::new(&params, &apps, variants.max(1) as usize, seed, max_blocks)?;
+
+    let cfg = FleetConfig {
+        multitask: MultitaskConfig {
+            policy: args.get_or("policy", "mrts").to_owned(),
+            arbiter: args.get_or("arbiter", "dynamic").parse::<ArbiterPolicy>()?,
+            scheduler: args.get_or("sched", "wfq").parse::<SchedulerKind>()?,
+            admission: args.get_or("admission", "off").parse::<AdmissionPolicy>()?,
+            // Fleet sessions are session-sized, far below the batch
+            // runner's repartition threshold — lower it so the dynamic
+            // arbiter actually redistributes freed fabric.
+            repartition_min_demand: Cycles::new(args.get_num("repart-min", 50_000)?),
+            ..MultitaskConfig::default()
+        },
+        fabrics: args.get_num("fabrics", 2)?,
+        ways: args.get_num("ways", 4)?,
+        queue_cap: args.get_num("queue-cap", 16)?,
+        placement: args
+            .get_or("placement", "least-loaded")
+            .parse::<Placement>()?,
+        budget: Resources::new(args.get_num("cg", 8)?, args.get_num("prc", 8)?),
+        window: Cycles::new(args.get_num("window", 1_000_000)?),
+        record_events: record,
+    };
+
+    let run_once = |record: bool| -> Result<(FleetOutcome, Option<String>), String> {
+        let cfg = FleetConfig {
+            record_events: record,
+            ..cfg.clone()
+        };
+        let out = run_fleet(&params, &registry, &records, &cfg).map_err(|e| e.to_string())?;
+        let jsonl = if record {
+            Some(events_to_jsonl(&out.events).map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
+        Ok((out, jsonl))
+    };
+
+    let (out, jsonl) = if threads > 1 {
+        // Replay the identical fleet configuration on `threads` OS threads
+        // and demand byte-identical fleet statistics, per-shard statistics
+        // and merged event spines.
+        let run_once = &run_once;
+        let runs: Vec<(FleetOutcome, Option<String>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(move || run_once(record)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet thread panicked"))
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+        let first_stats = serde_json::to_string(&runs[0].0.stats)?;
+        let first_shards = serde_json::to_string(&runs[0].0.shards)?;
+        for (i, (out, jsonl)) in runs.iter().enumerate().skip(1) {
+            if serde_json::to_string(&out.stats)? != first_stats
+                || serde_json::to_string(&out.shards)? != first_shards
+                || *jsonl != runs[0].1
+            {
+                return Err(
+                    format!("determinism violation: thread {i} diverged from thread 0").into(),
+                );
+            }
+        }
+        println!("determinism: {threads} threads, byte-identical fleet stats and event spines");
+        let mut runs = runs;
+        runs.swap_remove(0)
+    } else {
+        run_once(record).map_err(|e| -> Box<dyn std::error::Error> { e.into() })?
+    };
+    if let (Some(path), Some(log)) = (events_out, &jsonl) {
+        std::fs::write(path, log)?;
+        println!(
+            "events   : wrote {} events ({} bytes) to {path}",
+            log.lines().count(),
+            log.len()
+        );
+    }
+
+    print!("{}", out.stats);
+    println!(
+        "  queued {:.1}% of accepted, {} windows of {:.3} Mcycles",
+        out.stats.queued_rate() * 100.0,
+        out.stats.window_jain().len(),
+        cfg.window.as_mcycles()
+    );
+    for (f, shard) in out.shards.iter().enumerate() {
+        println!(
+            "  shard[{f}]: {} switches ({:.3} Mcycles), {} repartitions",
+            shard.context_switches,
+            shard.switch_cycles.as_mcycles(),
+            shard.repartitions
         );
     }
     Ok(())

@@ -10,6 +10,11 @@
 //!                   [--cg N] [--prc N] [--policy ..] [--arbiter ..]
 //!                   [--sched ..] [--admission ..] [--degrade on|off]
 //!                   [--events-out FILE] [--threads N]
+//! mrts-cli fleet    [--apps a,b,..] [--sessions N] [--mean-gap N]
+//!                   [--fabrics N] [--ways N] [--queue-cap N]
+//!                   [--placement ..] [--admission ..] [--arbiter ..]
+//!                   [--arrivals-in FILE] [--arrivals-out FILE]
+//!                   [--events-out FILE] [--threads N]
 //! mrts-cli trace    [--app ..] [--seed N] [--out FILE]
 //! mrts-cli pif      [--app ..] [--kernel NAME] [--max-exec N]
 //! ```
@@ -31,6 +36,7 @@ COMMANDS:
     simulate   run one application trace on one machine under one policy
     sweep      run a policy over the Fig. 8 fabric grid (vs RISC-mode)
     multitask  time-share one machine between several applications
+    fleet      run an open-loop session fleet over several fabric shards
     trace      generate a workload trace and write it as JSON
     pif        print the Eq. 1 performance-improvement table for a kernel
     help       show this message
@@ -64,6 +70,24 @@ MULTITASK-ONLY FLAGS:
     --admission off (default) | reject | queue   SLO feasibility gate
     --degrade   on (default) | off   laxity-driven degradation ladder
 
+FLEET-ONLY FLAGS:
+    --sessions     Poisson sessions to generate (default 1000)
+    --mean-gap     mean inter-arrival gap in cycles (default 150000);
+                   halving it doubles the offered load
+    --variants     trace variants per app (default 4)
+    --max-blocks   video-app session length cap in blocks (default 40)
+    --fabrics      independent fabric shards (default 2)
+    --ways         admission lanes per shard (default 4)
+    --queue-cap    wait-queue depth per shard, 0 = reject on overflow
+                   (default 16)
+    --placement    least-loaded (default) | rr | crit   shard placement
+    --window       fabric-utilization window width in cycles
+                   (default 1000000)
+    --repart-min   dynamic-arbiter repartition threshold in cycles
+                   (default 50000)
+    --arrivals-in  replay a JSONL arrival trace instead of generating one
+    --arrivals-out write the generated arrival trace as JSONL to FILE
+
 EXAMPLES:
     mrts-cli simulate --app h264 --cg 2 --prc 2 --policy mrts
     mrts-cli simulate --app h264 --policy mrts --fault-rate 0.001 --fault-seed 7
@@ -71,6 +95,8 @@ EXAMPLES:
     mrts-cli sweep --policy mrts --format csv > sweep.csv
     mrts-cli multitask --apps h264,fft,cipher --weights 2,1,1 --sched wfq
     mrts-cli multitask --apps h264,fft --slo hard:40000000,- --sched edf --admission queue
+    mrts-cli fleet --sessions 10000 --fabrics 4 --placement crit --admission queue
+    mrts-cli fleet --sessions 2000 --arrivals-out arr.jsonl --events-out ev.jsonl --threads 4
     mrts-cli pif --kernel deblock --max-exec 10000
 ";
 
@@ -87,6 +113,7 @@ fn main() -> ExitCode {
         Some("simulate") => commands::simulate(&args),
         Some("sweep") => commands::sweep(&args),
         Some("multitask") => commands::multitask(&args),
+        Some("fleet") => commands::fleet(&args),
         Some("trace") => commands::trace(&args),
         Some("pif") => commands::pif(&args),
         Some("help") | None => {

@@ -91,12 +91,29 @@ impl AdmissionOutcome {
 pub const FULL_UTILIZATION_PPM: u64 = 1_000_000;
 
 /// Tracks per-session utilization and verdicts over a run.
+///
+/// Two usage modes share the same bound arithmetic:
+///
+/// * **Batch** (the classic multitask runner): [`AdmissionController::new`]
+///   prices the whole mix up front; [`AdmissionController::retry`] re-tests
+///   the queue against a caller-supplied done mask.
+/// * **Streaming** (the fleet's open-loop churn): sessions are priced one
+///   by one as they arrive ([`AdmissionController::offer`]), free their
+///   utilization when they depart ([`AdmissionController::complete`]), and
+///   queued sessions are re-tested individually
+///   ([`AdmissionController::retry_one`]). The streaming side keeps its own
+///   incremental live-load accumulator; don't interleave it with the batch
+///   `retry` on the same controller.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
     policy: AdmissionPolicy,
     utilization_ppm: Vec<u64>,
     criticality: Vec<Criticality>,
     outcome: Vec<AdmissionOutcome>,
+    /// Streaming bookkeeping: which sessions have departed …
+    done: Vec<bool>,
+    /// … and the utilization sum of admitted, not-yet-departed sessions.
+    live_load: u128,
 }
 
 impl AdmissionController {
@@ -133,11 +150,20 @@ impl AdmissionController {
                 }
             }
         }
+        let live_load = outcome
+            .iter()
+            .zip(&utilization_ppm)
+            .filter(|(o, _)| **o == AdmissionOutcome::Admitted)
+            .map(|(_, &u)| u128::from(u))
+            .sum();
+        let done = vec![false; utilization_ppm.len()];
         AdmissionController {
             policy,
             utilization_ppm,
             criticality,
             outcome,
+            done,
+            live_load,
         }
     }
 
@@ -186,6 +212,93 @@ impl AdmissionController {
             }
         }
         admitted
+    }
+
+    /// Streaming entry point: prices one newly arrived session against the
+    /// current live load and returns its controller index plus verdict.
+    /// Zero-utilization sessions are always admitted; under
+    /// [`AdmissionPolicy::Off`] everything is.
+    pub fn offer(
+        &mut self,
+        utilization_ppm: u64,
+        criticality: Criticality,
+    ) -> (usize, AdmissionOutcome) {
+        let u = u128::from(utilization_ppm);
+        let verdict = if self.policy == AdmissionPolicy::Off
+            || u == 0
+            || self.live_load + u <= u128::from(FULL_UTILIZATION_PPM)
+        {
+            self.live_load += u;
+            AdmissionOutcome::Admitted
+        } else {
+            match self.policy {
+                AdmissionPolicy::Reject => AdmissionOutcome::Rejected,
+                _ => AdmissionOutcome::Queued,
+            }
+        };
+        self.utilization_ppm.push(utilization_ppm);
+        self.criticality.push(criticality);
+        self.outcome.push(verdict);
+        self.done.push(false);
+        (self.outcome.len() - 1, verdict)
+    }
+
+    /// Streaming departure: session `i`'s utilization leaves the live
+    /// load. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a session index.
+    pub fn complete(&mut self, i: usize) {
+        if self.done[i] {
+            return;
+        }
+        self.done[i] = true;
+        if self.outcome[i] == AdmissionOutcome::Admitted {
+            self.live_load = self
+                .live_load
+                .saturating_sub(u128::from(self.utilization_ppm[i]));
+        }
+    }
+
+    /// Streaming re-test of one queued session (the fleet calls this for
+    /// the queue head whenever capacity frees up). Flips it to `Admitted`
+    /// and returns `true` if its utilization now fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a session index.
+    pub fn retry_one(&mut self, i: usize) -> bool {
+        if self.outcome[i] != AdmissionOutcome::Queued {
+            return false;
+        }
+        let u = u128::from(self.utilization_ppm[i]);
+        if u == 0 || self.live_load + u <= u128::from(FULL_UTILIZATION_PPM) {
+            self.live_load += u;
+            self.outcome[i] = AdmissionOutcome::Admitted;
+            return true;
+        }
+        false
+    }
+
+    /// Unconditionally admits queued session `i` (the fleet's livelock
+    /// escape: a session whose utilization never fits must not block the
+    /// queue forever once fabric sits idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a session index.
+    pub fn admit_anyway(&mut self, i: usize) {
+        if self.outcome[i] != AdmissionOutcome::Admitted {
+            self.outcome[i] = AdmissionOutcome::Admitted;
+            self.live_load += u128::from(self.utilization_ppm[i]);
+        }
+    }
+
+    /// The admitted-and-live utilization sum, in ppm (streaming mode).
+    #[must_use]
+    pub fn live_load_ppm(&self) -> u64 {
+        u64::try_from(self.live_load).unwrap_or(u64::MAX)
     }
 
     /// Force-admits the highest-criticality queued session, regardless of
@@ -275,6 +388,61 @@ mod tests {
         assert_eq!(c.outcome(1), AdmissionOutcome::Admitted);
         assert_eq!(c.force_admit(), Some(2));
         assert_eq!(c.force_admit(), None);
+    }
+
+    #[test]
+    fn streaming_offer_complete_retry_cycle() {
+        let mut c = AdmissionController::new(AdmissionPolicy::Queue, Vec::new(), Vec::new());
+        assert_eq!(c.live_load_ppm(), 0);
+        // First session fits, second queues, zero-utilization always runs.
+        assert_eq!(
+            c.offer(700_000, Criticality::Hard),
+            (0, AdmissionOutcome::Admitted)
+        );
+        assert_eq!(
+            c.offer(700_000, Criticality::Soft),
+            (1, AdmissionOutcome::Queued)
+        );
+        assert_eq!(
+            c.offer(0, Criticality::BestEffort),
+            (2, AdmissionOutcome::Admitted)
+        );
+        assert_eq!(c.live_load_ppm(), 700_000);
+        // Still over the bound: the queued session stays queued.
+        assert!(!c.retry_one(1));
+        // Session 0 departs; its utilization frees and the retry succeeds.
+        c.complete(0);
+        c.complete(0); // idempotent
+        assert_eq!(c.live_load_ppm(), 0);
+        assert!(c.retry_one(1));
+        assert_eq!(c.outcome(1), AdmissionOutcome::Admitted);
+        assert_eq!(c.live_load_ppm(), 700_000);
+        // Retrying a non-queued session is a no-op.
+        assert!(!c.retry_one(1));
+    }
+
+    #[test]
+    fn streaming_reject_and_admit_anyway() {
+        let mut c = AdmissionController::new(AdmissionPolicy::Reject, Vec::new(), Vec::new());
+        assert_eq!(
+            c.offer(900_000, Criticality::Hard),
+            (0, AdmissionOutcome::Admitted)
+        );
+        assert_eq!(
+            c.offer(200_000, Criticality::Soft),
+            (1, AdmissionOutcome::Rejected)
+        );
+        // A rejected session never joins the live load, even on complete.
+        c.complete(1);
+        assert_eq!(c.live_load_ppm(), 900_000);
+        // Queue policy: a session that can never fit is force-admittable.
+        let mut q = AdmissionController::new(AdmissionPolicy::Queue, Vec::new(), Vec::new());
+        let (k, v) = q.offer(2_000_000, Criticality::Soft);
+        assert_eq!(v, AdmissionOutcome::Queued, "over the bound on its own");
+        assert!(!q.retry_one(k), "no amount of freeing makes it fit");
+        q.admit_anyway(k);
+        assert_eq!(q.outcome(k), AdmissionOutcome::Admitted);
+        assert_eq!(q.live_load_ppm(), 2_000_000);
     }
 
     #[test]

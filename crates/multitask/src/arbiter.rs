@@ -78,6 +78,12 @@ pub struct FabricArbiter {
     policy: ArbiterPolicy,
     pool: Resources,
     slices: Vec<Resources>,
+    /// Unassigned fabric: what [`FabricArbiter::park`] returned to the
+    /// arbiter and [`FabricArbiter::admit`] carves new grants from. Always
+    /// `NONE` on the classic batch path, where the pool is split exactly
+    /// among the tenants at construction; the fleet's churn path keeps
+    /// `pool == Σ slices + free` as sessions come and go.
+    free: Resources,
 }
 
 impl FabricArbiter {
@@ -92,7 +98,67 @@ impl FabricArbiter {
             policy,
             pool,
             slices,
+            free: Resources::NONE,
         }
+    }
+
+    /// An arbiter over `pool` with no tenants yet: the whole pool sits in
+    /// the free store and grants are created incrementally with
+    /// [`FabricArbiter::admit`]. This is the fleet's churn-mode entry
+    /// point; [`FabricArbiter::new`] remains the batch path.
+    #[must_use]
+    pub fn empty(policy: ArbiterPolicy, pool: Resources) -> Self {
+        FabricArbiter {
+            policy,
+            pool,
+            slices: Vec::new(),
+            free: pool,
+        }
+    }
+
+    /// Fabric currently unassigned to any tenant.
+    #[must_use]
+    pub fn free(&self) -> Resources {
+        self.free
+    }
+
+    /// Admits a new tenant with grant `slice` carved out of the free store
+    /// (clamped to what is actually free) and returns its tenant index.
+    pub fn admit(&mut self, slice: Resources) -> usize {
+        let granted = slice.min(self.free);
+        self.free = self.free.saturating_sub(granted);
+        self.slices.push(granted);
+        self.slices.len() - 1
+    }
+
+    /// Parks tenant `i`'s grant back into the free store, leaving it only
+    /// `keep` (its permanently failed containers). Returns what was freed.
+    /// Unlike [`FabricArbiter::release`] this works under every policy and
+    /// never re-partitions — it is the churn path's departure primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a tenant index.
+    pub fn park(&mut self, i: usize, keep: Resources) -> Resources {
+        let freed = self.slices[i].saturating_sub(keep);
+        self.slices[i] = keep;
+        self.free += freed;
+        freed
+    }
+
+    /// Moves up to `amount` of tenant `from`'s grant back into the free
+    /// store (clamped to what it holds) and returns what actually moved —
+    /// the churn path's reclaim primitive for taking borrowed headroom
+    /// back from an incumbent when a new session needs its base share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a tenant index.
+    pub fn reclaim(&mut self, from: usize, amount: Resources) -> Resources {
+        let moved = amount.min(self.slices[from]);
+        self.slices[from] = self.slices[from].saturating_sub(moved);
+        self.free += moved;
+        moved
     }
 
     /// The discipline in force.
@@ -141,6 +207,9 @@ impl FabricArbiter {
         let freed = self.slices[finished].saturating_sub(keep);
         self.slices[finished] = keep;
         if freed.is_empty() || demands.is_empty() {
+            // Nothing to redistribute (or nobody to give it to): the freed
+            // slice parks in the free store until a later admit.
+            self.free += freed;
             return false;
         }
         let weights: Vec<u64> = demands.iter().map(|&(_, d)| d.max(1)).collect();
@@ -242,6 +311,38 @@ mod tests {
         let mut a = FabricArbiter::new(ArbiterPolicy::Dynamic, Resources::new(4, 4), &[1]);
         assert!(!a.release(0, Resources::NONE, &[]));
         assert_eq!(a.grant(0), Resources::NONE);
+        assert_eq!(a.free(), Resources::new(4, 4), "freed slice is parked");
+    }
+
+    #[test]
+    fn empty_admit_park_reclaim_conserve_the_pool() {
+        let pool = Resources::new(6, 4);
+        let mut a = FabricArbiter::empty(ArbiterPolicy::Dynamic, pool);
+        assert_eq!(a.free(), pool);
+        assert!(a.slices().is_empty());
+        // Admit two sessions at a third of the pool each.
+        let share = Resources::new(2, 1);
+        assert_eq!(a.admit(share), 0);
+        assert_eq!(a.admit(share), 1);
+        assert_eq!(a.grant(0), share);
+        assert_eq!(a.free(), Resources::new(2, 2));
+        let held: Resources = a.slices().iter().copied().sum();
+        assert_eq!(held + a.free(), pool, "admit conserves the pool");
+        // Admission clamps to what is actually free.
+        assert_eq!(a.admit(Resources::new(9, 9)), 2);
+        assert_eq!(a.grant(2), Resources::new(2, 2));
+        assert_eq!(a.free(), Resources::NONE);
+        // Departure parks the grant (minus pinned failures) back.
+        let freed = a.park(2, Resources::new(1, 0));
+        assert_eq!(freed, Resources::new(1, 2));
+        assert_eq!(a.grant(2), Resources::new(1, 0));
+        assert_eq!(a.free(), Resources::new(1, 2));
+        // Reclaim pulls part of a live grant back into the store.
+        let got = a.reclaim(0, Resources::new(1, 0));
+        assert_eq!(got, Resources::new(1, 0));
+        assert_eq!(a.grant(0), Resources::new(1, 1));
+        let held: Resources = a.slices().iter().copied().sum();
+        assert_eq!(held + a.free(), pool, "park/reclaim conserve the pool");
     }
 
     #[test]

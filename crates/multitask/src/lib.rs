@@ -80,14 +80,17 @@ pub mod arbiter;
 pub mod runner;
 pub mod scheduler;
 pub mod slo;
+pub mod spec;
 
 pub use admission::{AdmissionController, AdmissionOutcome, AdmissionPolicy};
 pub use arbiter::{ArbiterPolicy, FabricArbiter};
 pub use runner::{
-    run_multitask, run_multitask_with_events, MultitaskConfig, MultitaskError, TenantSpec,
+    estimate_utilization_ppm, prep_session, run_multitask, run_multitask_with_events,
+    MultitaskConfig, MultitaskError, MultitaskRunner, StepOutcome, TenantPrep, TenantSpec,
 };
 pub use scheduler::{
     EarliestDeadline, LeastLaxity, RoundRobin, Scheduler, SchedulerKind, StrictPriority,
     WeightedFair,
 };
 pub use slo::{ladder_cap, Criticality, Slo, SloSnapshot, LADDER_BOTTOM};
+pub use spec::{parse_slo_field, parse_tenant_specs, TenantRequest};

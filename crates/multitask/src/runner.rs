@@ -407,7 +407,7 @@ fn best_latency(catalog: &IseCatalog, kernel: KernelId, slice: Resources) -> u64
 /// admission test refuses only sessions that cannot meet their deadlines
 /// even under ideal acceleration, leaving marginal mixes to the
 /// degradation ladder.
-fn estimate_utilization_ppm(spec: &TenantSpec<'_>, slice: Resources) -> u64 {
+pub fn estimate_utilization_ppm(spec: &TenantSpec<'_>, slice: Resources) -> u64 {
     let Some(slo) = spec.slo else { return 0 };
     if slo.is_unconstrained() {
         return 0;
@@ -463,18 +463,29 @@ fn demand_suffix(catalog: &IseCatalog, trace: &Trace) -> Vec<u64> {
 }
 
 /// The per-tenant outputs of the parallel setup barrier (see
-/// [`MultitaskConfig::workers`]).
-struct TenantPrep {
+/// [`MultitaskConfig::workers`]). Also the unit of work the fleet
+/// precomputes per session before its open-loop run starts (sessions with
+/// the same app/trace share one prep via [`TenantPrep::clone`]).
+#[derive(Debug, Clone)]
+pub struct TenantPrep {
     /// The tenant's solo RISC-only wall-clock time: the numerator of its
     /// speedup and of the aggregate speedup.
-    risc_baseline: Cycles,
+    pub risc_baseline: Cycles,
     /// Remaining-RISC-work suffix sums (the dynamic arbiter's weights).
-    demand_suffix: Vec<u64>,
+    pub demand_suffix: Vec<u64>,
 }
 
 /// The independent (pre-shared-clock) part of one tenant's setup: a full
-/// solo RISC-only trace simulation plus the demand suffix sums.
-fn prep_one(params: &ArchParams, spec: &TenantSpec<'_>) -> Result<TenantPrep, MultitaskError> {
+/// solo RISC-only trace simulation plus the demand suffix sums. Public as
+/// the fleet's per-session prep entry point.
+///
+/// # Errors
+///
+/// [`MultitaskError::Arch`] if `params` is inconsistent.
+pub fn prep_session(
+    params: &ArchParams,
+    spec: &TenantSpec<'_>,
+) -> Result<TenantPrep, MultitaskError> {
     let risc_baseline = Simulator::run(
         spec.catalog,
         Machine::new(params.clone(), Resources::NONE)?,
@@ -488,7 +499,7 @@ fn prep_one(params: &ArchParams, spec: &TenantSpec<'_>) -> Result<TenantPrep, Mu
     })
 }
 
-/// Runs [`prep_one`] for every tenant, striping the tenant list across
+/// Runs [`prep_session`] for every tenant, striping the tenant list across
 /// `workers` scoped threads when `workers > 1`. Each worker owns one
 /// contiguous chunk of the results vector, and the scope join is the
 /// barrier at which the chunks merge back in tenant-index order — the
@@ -502,7 +513,7 @@ fn prepare_tenants(
 ) -> Vec<Result<TenantPrep, MultitaskError>> {
     let workers = workers.clamp(1, specs.len().max(1));
     if workers == 1 {
-        return specs.iter().map(|s| prep_one(params, s)).collect();
+        return specs.iter().map(|s| prep_session(params, s)).collect();
     }
     let mut out: Vec<Option<Result<TenantPrep, MultitaskError>>> =
         specs.iter().map(|_| None).collect();
@@ -511,7 +522,7 @@ fn prepare_tenants(
         for (spec_chunk, out_chunk) in specs.chunks(chunk).zip(out.chunks_mut(chunk)) {
             scope.spawn(move || {
                 for (spec, slot) in spec_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(prep_one(params, spec));
+                    *slot = Some(prep_session(params, spec));
                 }
             });
         }
@@ -575,6 +586,7 @@ fn ladder_step(
     out: &mut MultitaskStats,
     cfg: &MultitaskConfig,
     shared: Option<&VecSink>,
+    tags: &[u32],
 ) {
     let now = clock.now();
 
@@ -608,10 +620,10 @@ fn ladder_step(
             if let Some(s) = shared {
                 let at = clock.now();
                 s.clone().emit(
-                    loan.victim as u32,
+                    tags[loan.victim],
                     SimEvent::DegradeStep {
                         at,
-                        tenant: loan.victim as u32,
+                        tenant: tags[loan.victim],
                         from_level,
                         to_level,
                         cg: v_grant.cg(),
@@ -673,10 +685,10 @@ fn ladder_step(
     if let Some(s) = shared {
         let at = clock.now();
         s.clone().emit(
-            v as u32,
+            tags[v],
             SimEvent::DegradeStep {
                 at,
-                tenant: v as u32,
+                tenant: tags[v],
                 from_level,
                 to_level,
                 cg: v_grant.cg(),
@@ -684,10 +696,10 @@ fn ladder_step(
             },
         );
         s.clone().emit(
-            b as u32,
+            tags[b],
             SimEvent::RepartitionGranted {
                 at,
-                tenant: b as u32,
+                tenant: tags[b],
                 cg: b_grant.cg(),
                 prc: b_grant.prc(),
             },
@@ -753,281 +765,453 @@ fn run_inner(
     if specs.is_empty() {
         return Err(MultitaskError::NoTenants);
     }
-    // All per-tenant simulators and the runner itself record into tagged
-    // clones of one shared buffer, so the merged log keeps the exact
-    // interleaving of the run; it is drained into the caller's sink at the
-    // end. `None` when nobody listens — the engines then skip every
-    // emission at the cost of one branch.
-    let shared: Option<VecSink> = out_sink.as_ref().map(|_| VecSink::new());
-    // The pool is partitioned in slot units (what `Machine::capacity`
-    // reports and every policy-facing `Resources` value uses).
-    let pool = Machine::new(params.clone(), budget)?.capacity();
-    let weights: Vec<u64> = specs.iter().map(|s| s.weight.max(1)).collect();
-    let mut arbiter = FabricArbiter::new(cfg.arbiter, pool, &weights);
-    let mut scheduler = cfg.scheduler.build(&weights);
-
-    // Per-tenant setup: the one phase of a multi-tenant run where tenants
-    // are fully independent of each other (no shared clock, no arbiter
-    // state) — `cfg.workers` scoped threads each take a contiguous stripe
-    // of tenants and the results merge back in tenant-index order at the
-    // scope's join barrier, before the shared clock starts ticking.
-    let preps = prepare_tenants(&params, specs, cfg.workers);
-
-    let mut tenants: Vec<Tenant<'_>> = Vec::with_capacity(specs.len());
-    for ((i, spec), prep) in specs.iter().enumerate().zip(preps) {
-        let TenantPrep {
-            risc_baseline,
-            demand_suffix,
-        } = prep?;
-        let slice = arbiter.grant(i);
-        let mut machine = match &spec.fault_model {
-            Some(fm) => Machine::with_fault_model(params.clone(), Resources::NONE, fm.clone())?,
-            None => Machine::new(params.clone(), Resources::NONE)?,
-        };
-        let _ = machine.resize_capacity(slice);
-        let totals = ProfiledTotals::from_trace(spec.trace);
-        let mut policy = make_policy_tuned(&cfg.policy, spec.catalog, slice, &totals, cfg.tuning)
-            .map_err(MultitaskError::Policy)?;
-        policy.set_resource_slice(Some(slice));
-        let run = RunStats {
-            policy: policy.name(),
-            ..RunStats::default()
-        };
-        let mut sim = Simulator::new(spec.catalog, machine);
-        sim.check_trace(spec.trace)
-            .map_err(|kernel| MultitaskError::Trace {
-                tenant: spec.name.clone(),
-                kernel,
-            })?;
-        if let Some(s) = &shared {
-            sim.attach_events(i as u32, Box::new(s.clone()));
-        }
-        tenants.push(Tenant {
-            sim,
-            policy,
-            catalog: spec.catalog,
-            trace: spec.trace,
-            cursor: 0,
-            demand_suffix,
-            exhausted_blocks: 0,
-            slo: spec.slo,
-            arrival: Cycles::ZERO,
-            admitted: true,
-            rejected: false,
-            level: 0,
-            service_done: Cycles::ZERO,
-            stats: TenantStats {
-                tenant: i,
-                app: spec.name.clone(),
-                weight: weights[i],
-                run,
-                risc_baseline,
-                ..TenantStats::default()
-            },
-        });
-    }
-
-    // Admission: the feasibility pass over the SLO mix, priced against
-    // each tenant's initial slice.
-    let mut controller = AdmissionController::new(
-        cfg.admission,
-        specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| estimate_utilization_ppm(s, arbiter.grant(i)))
-            .collect(),
-        specs
-            .iter()
-            .map(|s| s.slo.map_or(Criticality::BestEffort, |x| x.criticality))
-            .collect(),
-    );
-    for (i, tenant) in tenants.iter_mut().enumerate() {
-        if cfg.admission == AdmissionPolicy::Off {
-            continue; // stats.admission stays "" — pre-SLO output
-        }
-        let outcome = controller.outcome(i);
-        tenant.stats.admission = outcome.label().to_string();
-        match outcome {
-            AdmissionOutcome::Admitted => {}
-            AdmissionOutcome::Queued => tenant.admitted = false,
-            AdmissionOutcome::Rejected => tenant.rejected = true,
-        }
-    }
-    // A rejected session never runs: its slice goes back to the pool at
-    // time zero, uncharged (the run has not started yet). Beneficiaries
-    // are the admitted sessions with enough remaining work; there is no
-    // exhaustion history yet, so that gate is waived here.
-    for r in 0..tenants.len() {
-        if !tenants[r].rejected {
-            continue;
-        }
-        let keep = tenants[r].sim.machine().failed_resources();
-        let _ = tenants[r].sim.machine_mut().resize_capacity(keep);
-        tenants[r].policy.set_resource_slice(Some(Resources::NONE));
-        let demands: Vec<(usize, u64)> = tenants
-            .iter()
-            .filter(|x| x.runnable() && x.remaining_demand() >= cfg.repartition_min_demand.get())
-            .map(|x| (x.stats.tenant, x.remaining_demand().max(1)))
-            .collect();
-        if arbiter.release(r, keep, &demands) {
-            for &(i, _) in &demands {
-                let grant = arbiter.grant(i);
-                resync(&mut tenants[i], grant);
-                if let Some(s) = &shared {
-                    s.clone().emit(
-                        i as u32,
-                        SimEvent::RepartitionGranted {
-                            at: Cycles::ZERO,
-                            tenant: i as u32,
-                            cg: grant.cg(),
-                            prc: grant.prc(),
-                        },
-                    );
-                }
-            }
-        }
-    }
-    let any_slo = tenants
-        .iter()
-        .any(|t| t.slo.is_some_and(|s| !s.is_unconstrained()));
-    let mut loans: Vec<Loan> = Vec::new();
-
-    let mut out = MultitaskStats {
-        policy: format!("{}/{}/{}", cfg.policy, cfg.arbiter, cfg.scheduler),
-        ..MultitaskStats::default()
-    };
-    // The global clock is the same Timeline core the per-tenant engines
-    // step on: monotone `advance_to`/`advance_by` instead of the former
-    // hand-rolled `now` bookkeeping, so there is exactly one notion of
-    // time-keeping across the single- and multi-tenant paths.
-    let mut clock = Timeline::new();
-    let mut last: Option<usize> = None;
-    // Scheduler-input scratch, refilled in place every dispatch so the
-    // steady-state loop allocates nothing (the engine-side twin of the
-    // selector's arena — see DESIGN §11).
-    let mut runnable: Vec<bool> = Vec::with_capacity(tenants.len());
-    let mut deadlines: Vec<Option<Cycles>> = Vec::with_capacity(tenants.len());
-    let mut laxities: Vec<Option<i128>> = Vec::with_capacity(tenants.len());
-
+    let mut runner = MultitaskRunner::new(params, budget, specs, cfg, out_sink.is_some())?;
     loop {
-        runnable.clear();
-        runnable.extend(tenants.iter().map(Tenant::runnable));
-        if !runnable.contains(&true) {
-            // Nothing admitted is runnable. An idle core with queued
-            // sessions would be a livelock, so force the head of the
-            // queue in (running overloaded beats not running — the
-            // ladder absorbs the excess).
-            let mut progressed = false;
-            while let Some(q) = controller.force_admit() {
-                tenants[q].admitted = true;
-                tenants[q].arrival = clock.now();
-                if tenants[q].runnable() {
-                    progressed = true;
+        match runner.step() {
+            StepOutcome::Idle => {
+                // Nothing admitted is runnable. An idle core with queued
+                // sessions would be a livelock, so force the head of the
+                // queue in (running overloaded beats not running — the
+                // ladder absorbs the excess).
+                if !runner.force_admit_next() {
                     break;
                 }
             }
-            if progressed {
+            StepOutcome::Ran { tenant, finished } => {
+                if finished {
+                    runner.finish_session(tenant);
+                }
+                // The laxity monitor: one ladder decision per block.
+                runner.ladder_maybe();
+            }
+        }
+    }
+    let (out, events) = runner.into_stats();
+    if let Some(sink) = out_sink {
+        for (tenant, ev) in events {
+            sink.emit(tenant, ev);
+        }
+    }
+    Ok(out)
+}
+
+/// The outcome of one [`MultitaskRunner::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// No admitted session has a block left to run. The caller decides
+    /// what happens next: the batch wrapper force-admits the queue head or
+    /// ends the run; the fleet driver delivers the next arrival instead.
+    Idle,
+    /// One block activation was dispatched.
+    Ran {
+        /// The session (local index) that ran.
+        tenant: usize,
+        /// Whether that block was the session's last. The caller settles
+        /// the departure with [`MultitaskRunner::finish_session`]
+        /// (redistribute the freed slice) or
+        /// [`MultitaskRunner::depart_session`] (park it in the free pool).
+        finished: bool,
+    },
+}
+
+/// The multi-tenant stepping core: the state of one fabric plus the core
+/// time-sharing it, advanced one block activation at a time.
+///
+/// [`run_multitask`] is a thin wrapper — build the runner over the full
+/// batch, [`step`](MultitaskRunner::step) until idle, settle every finish
+/// with [`finish_session`](MultitaskRunner::finish_session). The fleet
+/// layer drives the same core open-loop instead: sessions join mid-run via
+/// [`admit_session`](MultitaskRunner::admit_session) (slices carved from
+/// the arbiter's free pool) and leave via
+/// [`depart_session`](MultitaskRunner::depart_session); between steps the
+/// driver interleaves arrivals from its generators against the runner's
+/// clock. All per-tenant simulators and the runner itself record into
+/// tagged clones of one shared buffer, so the merged log keeps the exact
+/// interleaving of the run; [`into_stats`](MultitaskRunner::into_stats)
+/// drains it. Event tags are the caller's (`tags[i]`, fixed at admission),
+/// so a fleet can stamp globally unique session ids on a shard-local run;
+/// the batch path tags tenant `i` as `i`, unchanged.
+pub struct MultitaskRunner<'a> {
+    params: ArchParams,
+    cfg: MultitaskConfig,
+    arbiter: FabricArbiter,
+    scheduler: Box<dyn crate::scheduler::Scheduler>,
+    controller: AdmissionController,
+    tenants: Vec<Tenant<'a>>,
+    /// External event tag of each tenant (identity on the batch path).
+    tags: Vec<u32>,
+    loans: Vec<Loan>,
+    /// The global clock: the same Timeline core the per-tenant engines
+    /// step on — monotone `advance_to`/`advance_by`, one notion of
+    /// time-keeping across the single- and multi-tenant paths.
+    clock: Timeline,
+    out: MultitaskStats,
+    last: Option<usize>,
+    shared: Option<VecSink>,
+    any_slo: bool,
+    // Scheduler-input scratch, refilled in place every dispatch so the
+    // steady-state loop allocates nothing (the engine-side twin of the
+    // selector's arena — see DESIGN §11).
+    runnable: Vec<bool>,
+    deadlines: Vec<Option<Cycles>>,
+    laxities: Vec<Option<i128>>,
+}
+
+impl fmt::Debug for MultitaskRunner<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultitaskRunner")
+            .field("tenants", &self.tenants.len())
+            .field("now", &self.clock.now())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds one tenant's live state: a machine resized to its slice, a
+/// private policy instance, and a checked simulator recording under `tag`.
+#[allow(clippy::too_many_arguments)]
+fn build_tenant<'a>(
+    params: &ArchParams,
+    cfg: &MultitaskConfig,
+    shared: Option<&VecSink>,
+    spec: &TenantSpec<'a>,
+    prep: TenantPrep,
+    slice: Resources,
+    index: usize,
+    weight: u64,
+    tag: u32,
+) -> Result<Tenant<'a>, MultitaskError> {
+    let TenantPrep {
+        risc_baseline,
+        demand_suffix,
+    } = prep;
+    let mut machine = match &spec.fault_model {
+        Some(fm) => Machine::with_fault_model(params.clone(), Resources::NONE, fm.clone())?,
+        None => Machine::new(params.clone(), Resources::NONE)?,
+    };
+    let _ = machine.resize_capacity(slice);
+    let totals = ProfiledTotals::from_trace(spec.trace);
+    let mut policy = make_policy_tuned(&cfg.policy, spec.catalog, slice, &totals, cfg.tuning)
+        .map_err(MultitaskError::Policy)?;
+    policy.set_resource_slice(Some(slice));
+    let run = RunStats {
+        policy: policy.name(),
+        ..RunStats::default()
+    };
+    let mut sim = Simulator::new(spec.catalog, machine);
+    sim.check_trace(spec.trace)
+        .map_err(|kernel| MultitaskError::Trace {
+            tenant: spec.name.clone(),
+            kernel,
+        })?;
+    if let Some(s) = shared {
+        sim.attach_events(tag, Box::new(s.clone()));
+    }
+    Ok(Tenant {
+        sim,
+        policy,
+        catalog: spec.catalog,
+        trace: spec.trace,
+        cursor: 0,
+        demand_suffix,
+        exhausted_blocks: 0,
+        slo: spec.slo,
+        arrival: Cycles::ZERO,
+        admitted: true,
+        rejected: false,
+        level: 0,
+        service_done: Cycles::ZERO,
+        stats: TenantStats {
+            tenant: index,
+            app: spec.name.clone(),
+            weight,
+            run,
+            risc_baseline,
+            ..TenantStats::default()
+        },
+    })
+}
+
+impl<'a> MultitaskRunner<'a> {
+    /// Builds the runner over an up-front batch of tenants (possibly
+    /// empty — the fleet's churn path starts with zero sessions and the
+    /// whole pool in the arbiter's free store). `record_events` arms the
+    /// shared event buffer; `false` skips every emission at the cost of
+    /// one branch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_multitask`], minus `NoTenants`.
+    pub fn new(
+        params: ArchParams,
+        budget: Resources,
+        specs: &[TenantSpec<'a>],
+        cfg: &MultitaskConfig,
+        record_events: bool,
+    ) -> Result<Self, MultitaskError> {
+        let shared: Option<VecSink> = record_events.then(VecSink::new);
+        // The pool is partitioned in slot units (what `Machine::capacity`
+        // reports and every policy-facing `Resources` value uses).
+        let pool = Machine::new(params.clone(), budget)?.capacity();
+        let weights: Vec<u64> = specs.iter().map(|s| s.weight.max(1)).collect();
+        let arbiter = if specs.is_empty() {
+            FabricArbiter::empty(cfg.arbiter, pool)
+        } else {
+            FabricArbiter::new(cfg.arbiter, pool, &weights)
+        };
+        let scheduler = cfg.scheduler.build(&weights);
+
+        // Per-tenant setup: the one phase of a multi-tenant run where
+        // tenants are fully independent of each other (no shared clock, no
+        // arbiter state) — `cfg.workers` scoped threads each take a
+        // contiguous stripe of tenants and the results merge back in
+        // tenant-index order at the scope's join barrier, before the
+        // shared clock starts ticking.
+        let preps = prepare_tenants(&params, specs, cfg.workers);
+
+        let mut runner = MultitaskRunner {
+            params,
+            cfg: cfg.clone(),
+            arbiter,
+            scheduler,
+            controller: AdmissionController::new(AdmissionPolicy::Off, Vec::new(), Vec::new()),
+            tenants: Vec::with_capacity(specs.len()),
+            tags: (0..specs.len() as u32).collect(),
+            loans: Vec::new(),
+            clock: Timeline::new(),
+            out: MultitaskStats {
+                policy: format!("{}/{}/{}", cfg.policy, cfg.arbiter, cfg.scheduler),
+                ..MultitaskStats::default()
+            },
+            last: None,
+            shared,
+            any_slo: false,
+            runnable: Vec::with_capacity(specs.len()),
+            deadlines: Vec::with_capacity(specs.len()),
+            laxities: Vec::with_capacity(specs.len()),
+        };
+        for ((i, spec), prep) in specs.iter().enumerate().zip(preps) {
+            let slice = runner.arbiter.grant(i);
+            let tenant = build_tenant(
+                &runner.params,
+                &runner.cfg,
+                runner.shared.as_ref(),
+                spec,
+                prep?,
+                slice,
+                i,
+                weights[i],
+                i as u32,
+            )?;
+            runner.tenants.push(tenant);
+        }
+
+        // Admission: the feasibility pass over the SLO mix, priced against
+        // each tenant's initial slice.
+        runner.controller = AdmissionController::new(
+            cfg.admission,
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| estimate_utilization_ppm(s, runner.arbiter.grant(i)))
+                .collect(),
+            specs
+                .iter()
+                .map(|s| s.slo.map_or(Criticality::BestEffort, |x| x.criticality))
+                .collect(),
+        );
+        if cfg.admission != AdmissionPolicy::Off {
+            for (i, tenant) in runner.tenants.iter_mut().enumerate() {
+                let outcome = runner.controller.outcome(i);
+                tenant.stats.admission = outcome.label().to_string();
+                match outcome {
+                    AdmissionOutcome::Admitted => {}
+                    AdmissionOutcome::Queued => tenant.admitted = false,
+                    AdmissionOutcome::Rejected => tenant.rejected = true,
+                }
+            }
+        }
+        // A rejected session never runs: its slice goes back to the pool
+        // at time zero, uncharged (the run has not started yet).
+        // Beneficiaries are the admitted sessions with enough remaining
+        // work; there is no exhaustion history yet, so that gate is waived
+        // here.
+        for r in 0..runner.tenants.len() {
+            if !runner.tenants[r].rejected {
                 continue;
             }
-            break;
+            let keep = runner.tenants[r].sim.machine().failed_resources();
+            let _ = runner.tenants[r].sim.machine_mut().resize_capacity(keep);
+            runner.tenants[r]
+                .policy
+                .set_resource_slice(Some(Resources::NONE));
+            let demands: Vec<(usize, u64)> = runner
+                .tenants
+                .iter()
+                .filter(|x| {
+                    x.runnable() && x.remaining_demand() >= cfg.repartition_min_demand.get()
+                })
+                .map(|x| (x.stats.tenant, x.remaining_demand().max(1)))
+                .collect();
+            if runner.arbiter.release(r, keep, &demands) {
+                for &(i, _) in &demands {
+                    let grant = runner.arbiter.grant(i);
+                    resync(&mut runner.tenants[i], grant);
+                    if let Some(s) = &runner.shared {
+                        s.clone().emit(
+                            runner.tags[i],
+                            SimEvent::RepartitionGranted {
+                                at: Cycles::ZERO,
+                                tenant: runner.tags[i],
+                                cg: grant.cg(),
+                                prc: grant.prc(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        runner.any_slo = runner
+            .tenants
+            .iter()
+            .any(|t| t.slo.is_some_and(|s| !s.is_unconstrained()));
+        Ok(runner)
+    }
+
+    /// Dispatches the next block: scheduler pick, context-switch charge,
+    /// one `step_activation`, SLO deadline checks. Pure bookkeeping on
+    /// [`StepOutcome::Idle`]. The caller settles a `finished` session (see
+    /// [`StepOutcome::Ran`]) and runs the ladder
+    /// ([`ladder_maybe`](MultitaskRunner::ladder_maybe)) between steps.
+    pub fn step(&mut self) -> StepOutcome {
+        self.runnable.clear();
+        self.runnable
+            .extend(self.tenants.iter().map(Tenant::runnable));
+        if !self.runnable.contains(&true) {
+            return StepOutcome::Idle;
         }
         // The deadline state the SLO-aware schedulers rank by; the
         // deadline-blind ones never look at it.
-        let now = clock.now();
-        deadlines.clear();
-        deadlines.extend(tenants.iter().map(|x| {
+        let now = self.clock.now();
+        self.deadlines.clear();
+        self.deadlines.extend(self.tenants.iter().map(|x| {
             if x.runnable() {
                 x.next_deadline()
             } else {
                 None
             }
         }));
-        laxities.clear();
-        laxities.extend(
-            tenants
-                .iter()
-                .map(|x| if x.runnable() { x.laxity(now) } else { None }),
-        );
+        self.laxities.clear();
+        self.laxities.extend(self.tenants.iter().map(|x| {
+            if x.runnable() {
+                x.laxity(now)
+            } else {
+                None
+            }
+        }));
         let snap = SloSnapshot {
-            deadlines: &deadlines,
-            laxities: &laxities,
+            deadlines: &self.deadlines,
+            laxities: &self.laxities,
         };
-        let t = scheduler
-            .pick_slo(&runnable, &snap)
+        let t = self
+            .scheduler
+            .pick_slo(&self.runnable, &snap)
             .expect("scheduler must pick while a tenant is runnable");
-        debug_assert!(runnable[t], "scheduler picked a finished tenant");
+        debug_assert!(self.runnable[t], "scheduler picked a finished tenant");
 
         // Context switch: charged only when the core changes hands.
-        if last.is_some() && last != Some(t) {
-            if let (Some(s), Some(prev)) = (&shared, last) {
-                let at = clock.now();
+        if self.last.is_some() && self.last != Some(t) {
+            if let (Some(s), Some(prev)) = (&self.shared, self.last) {
+                let at = self.clock.now();
                 s.clone().emit(
-                    prev as u32,
+                    self.tags[prev],
                     SimEvent::TenantPreempt {
                         at,
-                        tenant: prev as u32,
+                        tenant: self.tags[prev],
                     },
                 );
             }
-            clock.advance_by(cfg.costs.context_switch);
-            out.context_switches += 1;
-            out.switch_cycles += cfg.costs.context_switch;
-            tenants[t].stats.context_switches += 1;
-            tenants[t].stats.switch_cycles += cfg.costs.context_switch;
+            self.clock.advance_by(self.cfg.costs.context_switch);
+            self.out.context_switches += 1;
+            self.out.switch_cycles += self.cfg.costs.context_switch;
+            self.tenants[t].stats.context_switches += 1;
+            self.tenants[t].stats.switch_cycles += self.cfg.costs.context_switch;
         }
-        last = Some(t);
+        self.last = Some(t);
 
-        let finished = {
-            let tenant = &mut tenants[t];
-            // Time the tenant spent descheduled; its DMA-driven loads kept
-            // streaming meanwhile.
-            if clock.now() > tenant.sim.now() {
-                tenant.stats.waiting_cycles += clock.now() - tenant.sim.now();
-                tenant.sim.advance_to(clock.now());
-            }
-            // Dispatch is recorded *after* the catch-up settle so the
-            // tenant's deferred load completions (timestamps at or before
-            // the dispatch) flush first — per-tenant monotonicity.
-            if let Some(s) = &shared {
-                let at = clock.now();
-                s.clone().emit(
-                    t as u32,
-                    SimEvent::TenantDispatch {
-                        at,
-                        tenant: t as u32,
-                    },
-                );
-            }
-            let t0 = tenant.sim.now();
-            let activation = &tenant.trace.activations()[tenant.cursor];
-            tenant
-                .sim
-                .step_activation(activation, tenant.policy.as_mut(), &mut tenant.stats.run);
-            tenant.cursor += 1;
-            if tenant.sim.machine().free_resources().is_empty() {
-                tenant.exhausted_blocks += 1;
-            }
-            let consumed = tenant.sim.now() - t0;
-            tenant.service_done += consumed;
-            scheduler.charge(t, consumed);
-            clock.advance_to(tenant.sim.now());
+        let tag = self.tags[t];
+        let tenant = &mut self.tenants[t];
+        // Time the tenant spent descheduled; its DMA-driven loads kept
+        // streaming meanwhile.
+        if self.clock.now() > tenant.sim.now() {
+            tenant.stats.waiting_cycles += self.clock.now() - tenant.sim.now();
+            tenant.sim.advance_to(self.clock.now());
+        }
+        // Dispatch is recorded *after* the catch-up settle so the tenant's
+        // deferred load completions (timestamps at or before the dispatch)
+        // flush first — per-tenant monotonicity.
+        if let Some(s) = &self.shared {
+            let at = self.clock.now();
+            s.clone()
+                .emit(tag, SimEvent::TenantDispatch { at, tenant: tag });
+        }
+        let t0 = tenant.sim.now();
+        let activation = &tenant.trace.activations()[tenant.cursor];
+        tenant
+            .sim
+            .step_activation(activation, tenant.policy.as_mut(), &mut tenant.stats.run);
+        tenant.cursor += 1;
+        if tenant.sim.machine().free_resources().is_empty() {
+            tenant.exhausted_blocks += 1;
+        }
+        let consumed = tenant.sim.now() - t0;
+        tenant.service_done += consumed;
+        self.scheduler.charge(t, consumed);
+        self.clock.advance_to(tenant.sim.now());
 
-            // Per-block SLO check: block `cursor-1` was due at
-            // `arrival + period·cursor`.
-            if let Some(p) = tenant.slo.and_then(|s| s.block_period) {
-                let deadline = tenant.arrival + p * tenant.cursor as u64;
+        // Per-block SLO check: block `cursor-1` was due at
+        // `arrival + period·cursor`.
+        if let Some(p) = tenant.slo.and_then(|s| s.block_period) {
+            let deadline = tenant.arrival + p * tenant.cursor as u64;
+            let finish = tenant.sim.now();
+            tenant.stats.slo_deadlines += 1;
+            if finish > deadline {
+                let tardiness = finish - deadline;
+                tenant.stats.deadline_misses += 1;
+                tenant.stats.tardiness.push(tardiness.get());
+                if let Some(s) = &self.shared {
+                    s.clone().emit(
+                        tag,
+                        SimEvent::DeadlineMiss {
+                            at: finish,
+                            tenant: tag,
+                            block: activation.block,
+                            deadline,
+                            tardiness,
+                        },
+                    );
+                }
+            }
+        }
+
+        let finished = if tenant.runnable() {
+            false
+        } else {
+            tenant.stats.turnaround = self.clock.now();
+            // Session-level SLO check at the finish line.
+            if let Some(d) = tenant.slo.and_then(|s| s.session_deadline) {
+                let deadline = tenant.arrival + d;
                 let finish = tenant.sim.now();
                 tenant.stats.slo_deadlines += 1;
                 if finish > deadline {
                     let tardiness = finish - deadline;
                     tenant.stats.deadline_misses += 1;
                     tenant.stats.tardiness.push(tardiness.get());
-                    if let Some(s) = &shared {
+                    if let Some(s) = &self.shared {
                         s.clone().emit(
-                            t as u32,
+                            tag,
                             SimEvent::DeadlineMiss {
                                 at: finish,
-                                tenant: t as u32,
+                                tenant: tag,
                                 block: activation.block,
                                 deadline,
                                 tardiness,
@@ -1036,159 +1220,330 @@ fn run_inner(
                     }
                 }
             }
-
-            if tenant.runnable() {
-                false
-            } else {
-                tenant.stats.turnaround = clock.now();
-                // Session-level SLO check at the finish line.
-                if let Some(d) = tenant.slo.and_then(|s| s.session_deadline) {
-                    let deadline = tenant.arrival + d;
-                    let finish = tenant.sim.now();
-                    tenant.stats.slo_deadlines += 1;
-                    if finish > deadline {
-                        let tardiness = finish - deadline;
-                        tenant.stats.deadline_misses += 1;
-                        tenant.stats.tardiness.push(tardiness.get());
-                        if let Some(s) = &shared {
-                            s.clone().emit(
-                                t as u32,
-                                SimEvent::DeadlineMiss {
-                                    at: finish,
-                                    tenant: t as u32,
-                                    block: activation.block,
-                                    deadline,
-                                    tardiness,
-                                },
-                            );
-                        }
-                    }
-                }
-                // Reconfigurations can outlive the trace: drain the
-                // tenant's still-deferred completions into the log.
-                tenant.sim.finish_events();
-                true
-            }
+            // Reconfigurations can outlive the trace: drain the tenant's
+            // still-deferred completions into the log.
+            tenant.sim.finish_events();
+            true
         };
+        StepOutcome::Ran {
+            tenant: t,
+            finished,
+        }
+    }
 
-        if finished {
-            // Unwind the whole loan stack (strictly LIFO) *before* the
-            // arbiter's release path touches any grant: while the stack
-            // unwinds in reverse order, every beneficiary grant still
-            // contains its loaned amount (later changes were either
-            // releases, which only grow, or deeper loans, which popped
-            // first). One repartition is charged for the whole unwind.
-            if !loans.is_empty() {
-                out.repartitions += 1;
-                out.repartition_cycles += cfg.costs.repartition;
-                clock.advance_by(cfg.costs.repartition);
-                while let Some(loan) = loans.pop() {
-                    arbiter.transfer(loan.beneficiary, loan.victim, loan.amount);
-                    let from_level = tenants[loan.victim].level;
-                    tenants[loan.victim].level = loan.prior_level;
-                    tenants[loan.victim].stats.promote_steps += 1;
-                    let b_grant = arbiter.grant(loan.beneficiary);
-                    let evicted = resync(&mut tenants[loan.beneficiary], b_grant);
-                    tenants[loan.beneficiary].stats.repartition_evictions += evicted;
-                    let v_grant = arbiter.grant(loan.victim);
-                    resync(&mut tenants[loan.victim], v_grant);
-                    if let Some(s) = &shared {
-                        let at = clock.now();
-                        s.clone().emit(
-                            loan.victim as u32,
-                            SimEvent::DegradeStep {
-                                at,
-                                tenant: loan.victim as u32,
-                                from_level,
-                                to_level: loan.prior_level,
-                                cg: v_grant.cg(),
-                                prc: v_grant.prc(),
-                            },
-                        );
-                    }
+    /// Settles a finished session the batch way: unwind the loan stack,
+    /// release its slice through the arbiter (redistributing to
+    /// slice-constrained incumbents by remaining demand — the freed part
+    /// no incumbent claims lands in the free store), and re-test the
+    /// admission queue.
+    pub fn finish_session(&mut self, t: usize) {
+        self.unwind_loans();
+        // Release the finished tenant's working containers; its
+        // permanently failed slots stay pinned in place. Evicting the
+        // residual artefacts of a *finished* tenant destroys no useful
+        // work, so this reclamation does not count towards
+        // `repartition_evictions` (which measures work lost by running
+        // tenants to arbiter shrinks).
+        let keep = self.tenants[t].sim.machine().failed_resources();
+        let _ = self.tenants[t].sim.machine_mut().resize_capacity(keep);
+        self.tenants[t]
+            .policy
+            .set_resource_slice(Some(Resources::NONE));
+
+        // Beneficiaries: still-active tenants with enough work left to
+        // amortise the reconfigurations a bigger slice invites, and whose
+        // selector persistently exhausts the slice it already has (see
+        // [`Tenant::slice_constrained`]).
+        let demands: Vec<(usize, u64)> = self
+            .tenants
+            .iter()
+            .filter(|x| {
+                x.runnable()
+                    && x.remaining_demand() >= self.cfg.repartition_min_demand.get()
+                    && x.slice_constrained()
+            })
+            .map(|x| (x.stats.tenant, x.remaining_demand().max(1)))
+            .collect();
+        if self.arbiter.release(t, keep, &demands) {
+            self.charge_repartition();
+            for &(i, _) in &demands {
+                let grant = self.arbiter.grant(i);
+                let target = grant.saturating_sub(self.tenants[i].sim.machine().failed_resources());
+                let evicted = self.tenants[i].sim.machine_mut().resize_capacity(target);
+                self.tenants[i].stats.repartition_evictions += evicted.len() as u64;
+                self.tenants[i].policy.set_resource_slice(Some(grant));
+                if let Some(s) = &self.shared {
+                    let at = self.clock.now();
+                    s.clone().emit(
+                        self.tags[i],
+                        SimEvent::RepartitionGranted {
+                            at,
+                            tenant: self.tags[i],
+                            cg: grant.cg(),
+                            prc: grant.prc(),
+                        },
+                    );
                 }
-            }
-
-            // Release the finished tenant's working containers; its
-            // permanently failed slots stay pinned in place. Evicting the
-            // residual artefacts of a *finished* tenant destroys no useful
-            // work, so this reclamation does not count towards
-            // `repartition_evictions` (which measures work lost by running
-            // tenants to arbiter shrinks).
-            let keep = tenants[t].sim.machine().failed_resources();
-            let _ = tenants[t].sim.machine_mut().resize_capacity(keep);
-            tenants[t].policy.set_resource_slice(Some(Resources::NONE));
-
-            // Beneficiaries: still-active tenants with enough work left to
-            // amortise the reconfigurations a bigger slice invites, and
-            // whose selector persistently exhausts the slice it already
-            // has (see [`Tenant::slice_constrained`]).
-            let demands: Vec<(usize, u64)> = tenants
-                .iter()
-                .filter(|x| {
-                    x.runnable()
-                        && x.remaining_demand() >= cfg.repartition_min_demand.get()
-                        && x.slice_constrained()
-                })
-                .map(|x| (x.stats.tenant, x.remaining_demand().max(1)))
-                .collect();
-            if arbiter.release(t, keep, &demands) {
-                out.repartitions += 1;
-                out.repartition_cycles += cfg.costs.repartition;
-                clock.advance_by(cfg.costs.repartition);
-                for &(i, _) in &demands {
-                    let grant = arbiter.grant(i);
-                    let target = grant.saturating_sub(tenants[i].sim.machine().failed_resources());
-                    let evicted = tenants[i].sim.machine_mut().resize_capacity(target);
-                    tenants[i].stats.repartition_evictions += evicted.len() as u64;
-                    tenants[i].policy.set_resource_slice(Some(grant));
-                    if let Some(s) = &shared {
-                        let at = clock.now();
-                        s.clone().emit(
-                            i as u32,
-                            SimEvent::RepartitionGranted {
-                                at,
-                                tenant: i as u32,
-                                cg: grant.cg(),
-                                prc: grant.prc(),
-                            },
-                        );
-                    }
-                }
-            }
-
-            // A finished session's utilization frees up: re-test the
-            // admission queue. Late admissions arrive *now* — their
-            // deadlines are relative to this instant, not time zero.
-            let done: Vec<bool> = tenants.iter().map(Tenant::done).collect();
-            for i in controller.retry(&done) {
-                tenants[i].admitted = true;
-                tenants[i].arrival = clock.now();
             }
         }
 
-        // The laxity monitor: one ladder decision per completed block.
-        if cfg.degrade && any_slo {
+        // A finished session's utilization frees up: re-test the admission
+        // queue. Late admissions arrive *now* — their deadlines are
+        // relative to this instant, not time zero.
+        let done: Vec<bool> = self.tenants.iter().map(Tenant::done).collect();
+        for i in self.controller.retry(&done) {
+            self.tenants[i].admitted = true;
+            self.tenants[i].arrival = self.clock.now();
+        }
+    }
+
+    /// Settles a departing session the fleet way: unwind the loan stack,
+    /// then park its whole slice in the arbiter's free store (no
+    /// redistribution — the fleet decides who gets the fabric next).
+    /// Returns the freed amount.
+    pub fn depart_session(&mut self, t: usize) -> Resources {
+        self.unwind_loans();
+        let keep = self.tenants[t].sim.machine().failed_resources();
+        let _ = self.tenants[t].sim.machine_mut().resize_capacity(keep);
+        self.tenants[t]
+            .policy
+            .set_resource_slice(Some(Resources::NONE));
+        self.arbiter.park(t, keep)
+    }
+
+    /// Unwinds the whole loan stack (strictly LIFO) *before* any release
+    /// path touches a grant: while the stack unwinds in reverse order,
+    /// every beneficiary grant still contains its loaned amount (later
+    /// changes were either releases, which only grow, or deeper loans,
+    /// which popped first). One repartition is charged for the whole
+    /// unwind; a no-op when no loans are outstanding.
+    fn unwind_loans(&mut self) {
+        if self.loans.is_empty() {
+            return;
+        }
+        self.charge_repartition();
+        while let Some(loan) = self.loans.pop() {
+            self.arbiter
+                .transfer(loan.beneficiary, loan.victim, loan.amount);
+            let from_level = self.tenants[loan.victim].level;
+            self.tenants[loan.victim].level = loan.prior_level;
+            self.tenants[loan.victim].stats.promote_steps += 1;
+            let b_grant = self.arbiter.grant(loan.beneficiary);
+            let evicted = resync(&mut self.tenants[loan.beneficiary], b_grant);
+            self.tenants[loan.beneficiary].stats.repartition_evictions += evicted;
+            let v_grant = self.arbiter.grant(loan.victim);
+            resync(&mut self.tenants[loan.victim], v_grant);
+            if let Some(s) = &self.shared {
+                let at = self.clock.now();
+                s.clone().emit(
+                    self.tags[loan.victim],
+                    SimEvent::DegradeStep {
+                        at,
+                        tenant: self.tags[loan.victim],
+                        from_level,
+                        to_level: loan.prior_level,
+                        cg: v_grant.cg(),
+                        prc: v_grant.prc(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// One laxity-monitor decision (`ladder_step`) when the ladder is
+    /// armed and some tenant has a constrained SLO; a no-op otherwise.
+    pub fn ladder_maybe(&mut self) {
+        if self.cfg.degrade && self.any_slo {
             ladder_step(
-                &mut tenants,
-                &mut arbiter,
-                &mut loans,
-                &mut clock,
-                &mut out,
-                cfg,
-                shared.as_ref(),
+                &mut self.tenants,
+                &mut self.arbiter,
+                &mut self.loans,
+                &mut self.clock,
+                &mut self.out,
+                &self.cfg,
+                self.shared.as_ref(),
+                &self.tags,
             );
         }
     }
 
-    out.makespan = clock.now();
-    out.tenants = tenants.into_iter().map(|t| t.stats).collect();
-    if let (Some(s), Some(sink)) = (shared, out_sink) {
-        for (tenant, ev) in s.take() {
-            sink.emit(tenant, ev);
+    /// Forces queued sessions in until one is runnable (the batch
+    /// wrapper's livelock escape). Returns whether any became runnable.
+    pub fn force_admit_next(&mut self) -> bool {
+        let mut progressed = false;
+        while let Some(q) = self.controller.force_admit() {
+            self.tenants[q].admitted = true;
+            self.tenants[q].arrival = self.clock.now();
+            if self.tenants[q].runnable() {
+                progressed = true;
+                break;
+            }
+        }
+        progressed
+    }
+
+    /// Admits one session mid-run at the current clock: carves
+    /// `slice` (clamped to the free store) out of the arbiter, builds the
+    /// tenant, registers it with the scheduler at the incumbents' virtual
+    /// clock (no catch-up monopoly), and tags its events with the caller's
+    /// `tag`. Deadlines are relative to *now*. Returns the local index.
+    ///
+    /// # Errors
+    ///
+    /// Same per-tenant conditions as [`run_multitask`]; on error the
+    /// arbiter is untouched.
+    pub fn admit_session(
+        &mut self,
+        spec: &TenantSpec<'a>,
+        prep: TenantPrep,
+        slice: Resources,
+        tag: u32,
+    ) -> Result<usize, MultitaskError> {
+        let index = self.tenants.len();
+        self.runnable.clear();
+        self.runnable
+            .extend(self.tenants.iter().map(Tenant::runnable));
+        let weight = spec.weight.max(1);
+        let grant = slice.min(self.arbiter.free());
+        let mut tenant = build_tenant(
+            &self.params,
+            &self.cfg,
+            self.shared.as_ref(),
+            spec,
+            prep,
+            grant,
+            index,
+            weight,
+            tag,
+        )?;
+        tenant.arrival = self.clock.now();
+        // The session's private engine starts at the global clock, not at
+        // zero — otherwise its first dispatch would count the whole
+        // pre-arrival era as waiting time.
+        tenant.sim.advance_to(self.clock.now());
+        let carved = self.arbiter.admit(slice);
+        debug_assert_eq!(carved, index, "arbiter and tenant list diverged");
+        self.scheduler.register(weight, &self.runnable);
+        self.any_slo |= spec.slo.is_some_and(|s| !s.is_unconstrained());
+        self.tenants.push(tenant);
+        self.tags.push(tag);
+        Ok(index)
+    }
+
+    /// Pulls `amount` back from session `t`'s grant into the free store
+    /// (shrinking its machine in place, evictions charged to its stats)
+    /// and returns what actually moved. The fleet's arrival path uses this
+    /// to claw back over-base fabric from incumbents when the free store
+    /// cannot cover a newcomer's base share.
+    pub fn reclaim_session(&mut self, t: usize, amount: Resources) -> Resources {
+        let moved = self.arbiter.reclaim(t, amount);
+        if moved.is_empty() {
+            return moved;
+        }
+        let grant = self.arbiter.grant(t);
+        let evicted = resync(&mut self.tenants[t], grant);
+        self.tenants[t].stats.repartition_evictions += evicted;
+        if let Some(s) = &self.shared {
+            let at = self.clock.now();
+            s.clone().emit(
+                self.tags[t],
+                SimEvent::RepartitionGranted {
+                    at,
+                    tenant: self.tags[t],
+                    cg: grant.cg(),
+                    prc: grant.prc(),
+                },
+            );
+        }
+        moved
+    }
+
+    /// Charges one re-partition: counters plus the clock stall.
+    pub fn charge_repartition(&mut self) {
+        self.out.repartitions += 1;
+        self.out.repartition_cycles += self.cfg.costs.repartition;
+        self.clock.advance_by(self.cfg.costs.repartition);
+    }
+
+    /// Emits a caller-level event (e.g. the fleet's session lifecycle)
+    /// into the shared spine under `tag`; a no-op when recording is off.
+    pub fn emit_event(&self, tag: u32, ev: SimEvent) {
+        if let Some(s) = &self.shared {
+            s.clone().emit(tag, ev);
         }
     }
-    Ok(out)
+
+    /// The global clock.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.clock.now()
+    }
+
+    /// Advances the global clock to `at` (idle gap — e.g. the fleet
+    /// waiting for the next arrival on an empty shard). Monotone.
+    pub fn advance_clock_to(&mut self, at: Cycles) {
+        self.clock.advance_to(at);
+    }
+
+    /// Fabric currently parked in the arbiter's free store.
+    #[must_use]
+    pub fn free_fabric(&self) -> Resources {
+        self.arbiter.free()
+    }
+
+    /// The whole physical pool (in slot units).
+    #[must_use]
+    pub fn pool(&self) -> Resources {
+        self.arbiter.pool()
+    }
+
+    /// Session `t`'s current fabric grant.
+    #[must_use]
+    pub fn grant(&self, t: usize) -> Resources {
+        self.arbiter.grant(t)
+    }
+
+    /// Number of sessions ever admitted (local indices are dense).
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether session `t` still has blocks to run.
+    #[must_use]
+    pub fn is_runnable(&self, t: usize) -> bool {
+        self.tenants[t].runnable()
+    }
+
+    /// Whether any session still has blocks to run.
+    #[must_use]
+    pub fn has_runnable(&self) -> bool {
+        self.tenants.iter().any(Tenant::runnable)
+    }
+
+    /// Session `t`'s remaining RISC demand (the arbiter's weight).
+    #[must_use]
+    pub fn remaining_demand(&self, t: usize) -> u64 {
+        self.tenants[t].remaining_demand()
+    }
+
+    /// The aggregate statistics so far (makespan is set on
+    /// [`into_stats`](MultitaskRunner::into_stats)).
+    #[must_use]
+    pub fn stats(&self) -> &MultitaskStats {
+        &self.out
+    }
+
+    /// Finishes the run: stamps the makespan, folds per-tenant stats into
+    /// the aggregate, and drains the recorded event spine (tagged with the
+    /// admission-time `tag`s, in exact emission order).
+    #[must_use]
+    pub fn into_stats(mut self) -> (MultitaskStats, Vec<(u32, SimEvent)>) {
+        self.out.makespan = self.clock.now();
+        self.out.tenants = self.tenants.into_iter().map(|t| t.stats).collect();
+        let events = self.shared.map(|s| s.take()).unwrap_or_default();
+        (self.out, events)
+    }
 }
 
 #[cfg(test)]

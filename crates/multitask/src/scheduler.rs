@@ -38,6 +38,17 @@ pub trait Scheduler: fmt::Debug {
 
     /// Accounts `consumed` core cycles to `tenant` after it ran a block.
     fn charge(&mut self, tenant: usize, consumed: Cycles);
+
+    /// Registers a late-arriving tenant, appended after the highest index
+    /// seen so far (the fleet's churn path; the batch path sizes every
+    /// scheduler at build time and never calls this). `weight` is the
+    /// newcomer's share/priority and `runnable` the mask of the *existing*
+    /// tenants at admission time, letting fairness disciplines start the
+    /// newcomer at the virtual clock of the currently backlogged tenants —
+    /// it neither monopolises the core catching up from zero nor pays for
+    /// history it did not have. Stateless disciplines ignore both (this
+    /// default).
+    fn register(&mut self, _weight: u64, _runnable: &[bool]) {}
 }
 
 /// Round-robin with a time quantum: a tenant keeps the core for
@@ -134,6 +145,10 @@ impl Scheduler for StrictPriority {
     }
 
     fn charge(&mut self, _tenant: usize, _consumed: Cycles) {}
+
+    fn register(&mut self, weight: u64, _runnable: &[bool]) {
+        self.weights.push(weight);
+    }
 }
 
 /// Fixed-point scale of the weighted-fair virtual clock (integer
@@ -179,6 +194,19 @@ impl Scheduler for WeightedFair {
         if let (Some(v), Some(&w)) = (self.vtime.get_mut(tenant), self.weights.get(tenant)) {
             *v += u128::from(consumed.get()) * WFQ_SCALE / u128::from(w.max(1));
         }
+    }
+
+    fn register(&mut self, weight: u64, runnable: &[bool]) {
+        // Start at the virtual clock of the currently backlogged tenants
+        // (the standard WFQ virtual start time), so a newcomer competes
+        // fairly from now on instead of replaying the whole past.
+        let vstart = (0..runnable.len().min(self.vtime.len()))
+            .filter(|&i| runnable[i])
+            .map(|i| self.vtime[i])
+            .min()
+            .unwrap_or(0);
+        self.weights.push(weight);
+        self.vtime.push(vstart);
     }
 }
 
@@ -385,6 +413,26 @@ mod tests {
             }
         }
         assert!(worst < 1_500, "light tenant waited {worst} picks");
+    }
+
+    #[test]
+    fn register_appends_without_catchup_monopoly() {
+        let mut w = WeightedFair::new(&[1]);
+        w.charge(0, Cycles::new(1_000));
+        w.register(1, &[true]);
+        // The newcomer starts at the incumbent's virtual clock, so the
+        // tie breaks to the incumbent instead of a zero-vtime monopoly.
+        assert_eq!(w.pick(&[true, true]), Some(0));
+        w.charge(0, Cycles::new(10));
+        assert_eq!(w.pick(&[true, true]), Some(1));
+        // Strict priority just learns the newcomer's weight.
+        let mut p = StrictPriority::new(&[1]);
+        p.register(9, &[true]);
+        assert_eq!(p.pick(&[true, true]), Some(1));
+        // Stateless disciplines ignore registration.
+        let mut edf = EarliestDeadline;
+        edf.register(1, &[true]);
+        assert_eq!(edf.pick(&[true, true]), Some(0));
     }
 
     #[test]

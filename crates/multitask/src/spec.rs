@@ -1,0 +1,138 @@
+//! Textual tenant-spec parsing, shared by the CLI, the fleet's session
+//! traces, and the test suites.
+//!
+//! The surface syntax is the `mrts-cli multitask` flag triple — an
+//! `--apps` comma list plus optional parallel `--weights`/`--slo` comma
+//! lists — previously parsed ad hoc at every call site. One parser means
+//! one set of error messages and one definition of the "no SLO" sentinels
+//! (`""`, `"-"`, `"none"`).
+
+use crate::slo::Slo;
+
+/// One parsed tenant request: the owned (borrow-free) half of a
+/// [`TenantSpec`](crate::TenantSpec), before workload construction binds
+/// it to a catalogue and a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRequest {
+    /// Application model name (e.g. `h264`, `fft`, `cipher`, `toy`).
+    pub app: String,
+    /// Scheduling weight (defaults to 1).
+    pub weight: u64,
+    /// Optional service-level objective.
+    pub slo: Option<Slo>,
+}
+
+/// Parses one SLO list entry: the empty string, `-` and `none` mean "no
+/// SLO"; anything else must parse as [`Slo`] (`crit[:period[:session]]`).
+///
+/// # Errors
+///
+/// The [`Slo`] parse error, verbatim.
+pub fn parse_slo_field(s: &str) -> Result<Option<Slo>, String> {
+    match s {
+        "" | "-" | "none" => Ok(None),
+        s => s.parse::<Slo>().map(Some),
+    }
+}
+
+/// Parses the `--apps`/`--weights`/`--slo` flag triple into one
+/// [`TenantRequest`] per app. `weights`/`slos` are optional parallel comma
+/// lists; when present they must have exactly one entry per app
+/// (weight default 1, SLO default none).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending flag: an unparsable
+/// weight or SLO entry, or a list whose length disagrees with `apps`.
+pub fn parse_tenant_specs(
+    apps: &str,
+    weights: Option<&str>,
+    slos: Option<&str>,
+) -> Result<Vec<TenantRequest>, String> {
+    let names: Vec<&str> = apps.split(',').collect();
+    let weights: Vec<u64> = match weights {
+        None => vec![1; names.len()],
+        Some(w) => w
+            .split(',')
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| format!("--weights: cannot parse '{t}'"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if weights.len() != names.len() {
+        return Err(format!(
+            "--weights lists {} values for {} apps",
+            weights.len(),
+            names.len()
+        ));
+    }
+    // One optional SLO per app, parsed as `crit[:period[:session]]`
+    // ("hard:40000000", "soft:0:900000000", …); "-" or "none" leaves the
+    // tenant SLO-free.
+    let slos: Vec<Option<Slo>> = match slos {
+        None => vec![None; names.len()],
+        Some(list) => list
+            .split(',')
+            .map(|t| parse_slo_field(t).map_err(|e| format!("--slo: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+    if slos.len() != names.len() {
+        return Err(format!(
+            "--slo lists {} values for {} apps",
+            slos.len(),
+            names.len()
+        ));
+    }
+    Ok(names
+        .into_iter()
+        .zip(weights)
+        .zip(slos)
+        .map(|((app, weight), slo)| TenantRequest {
+            app: app.to_owned(),
+            weight,
+            slo,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::Criticality;
+
+    #[test]
+    fn parses_the_flag_triple_with_defaults() {
+        let specs = parse_tenant_specs("h264,fft", None, None).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].app, "h264");
+        assert!(specs.iter().all(|s| s.weight == 1 && s.slo.is_none()));
+
+        let specs =
+            parse_tenant_specs("h264,fft,cipher", Some("3,1,2"), Some("hard:500000,-,none"))
+                .unwrap();
+        assert_eq!(specs[0].weight, 3);
+        assert_eq!(
+            specs[0].slo.unwrap().criticality,
+            Criticality::Hard,
+            "first tenant carries the parsed SLO"
+        );
+        assert!(specs[1].slo.is_none() && specs[2].slo.is_none());
+    }
+
+    #[test]
+    fn rejects_ragged_or_malformed_lists() {
+        assert!(parse_tenant_specs("a,b", Some("1"), None)
+            .unwrap_err()
+            .contains("--weights lists 1 values for 2 apps"));
+        assert!(parse_tenant_specs("a", Some("x"), None)
+            .unwrap_err()
+            .contains("cannot parse 'x'"));
+        assert!(parse_tenant_specs("a,b", None, Some("hard:1"))
+            .unwrap_err()
+            .contains("--slo lists 1 values for 2 apps"));
+        assert!(parse_tenant_specs("a", None, Some("bogus:1"))
+            .unwrap_err()
+            .starts_with("--slo:"));
+    }
+}

@@ -50,7 +50,8 @@ pub use policy::{
     SelectionContext, SelectionIndex,
 };
 pub use stats::{
-    jain_index, BlockStats, ExecClass, KernelStats, MultitaskStats, RunStats, TenantStats,
+    jain_index, nearest_rank_percentile, BlockStats, ExecClass, FabricStats, FleetStats,
+    KernelStats, MultitaskStats, RunStats, SessionStats, TenantStats,
 };
 pub use timeline::{
     event_to_json, events_to_jsonl, EventSink, RejectReason, SimEvent, Timeline, VecSink,

@@ -315,6 +315,32 @@ impl TenantStats {
     }
 }
 
+/// Exact nearest-rank `q_num/q_den` quantile over an integer sample made
+/// of `nonzero` (unsorted, copied and sorted internally) plus `zeros`
+/// implicit zero-valued samples. The rank is `ceil(q·n)` clamped into
+/// `1..=n`; zeros sort before every nonzero sample. Returns 0 when the
+/// combined sample is empty or `q_den` is 0.
+///
+/// This is the one percentile implementation shared by
+/// [`MultitaskStats::tardiness_percentile`] (met deadlines are the
+/// implicit zeros) and [`FleetStats`]'s session-latency percentiles
+/// (`zeros = 0`).
+#[must_use]
+pub fn nearest_rank_percentile(nonzero: &[u64], zeros: u64, q_num: u64, q_den: u64) -> u64 {
+    let n = zeros + nonzero.len() as u64;
+    if n == 0 || q_den == 0 {
+        return 0;
+    }
+    let mut sorted = nonzero.to_vec();
+    sorted.sort_unstable();
+    let rank = (q_num * n).div_ceil(q_den).clamp(1, n);
+    if rank <= zeros {
+        0
+    } else {
+        sorted[(rank - zeros - 1) as usize]
+    }
+}
+
 /// Jain's fairness index `(Σx)² / (n·Σx²)` over a set of per-tenant
 /// allocations. 1.0 = perfectly fair; `1/n` = one tenant gets everything.
 /// Empty or all-zero inputs return 1.0 (nothing is being shared unfairly).
@@ -423,24 +449,239 @@ impl MultitaskStats {
     #[must_use]
     pub fn tardiness_percentile(&self, q_num: u64, q_den: u64) -> u64 {
         let n = self.slo_deadlines();
-        if n == 0 || q_den == 0 {
-            return 0;
-        }
-        let mut late: Vec<u64> = self
+        let late: Vec<u64> = self
             .tenants
             .iter()
             .flat_map(|t| t.tardiness.iter().copied())
             .collect();
-        late.sort_unstable();
-        // Rank of the quantile among n samples, the first n - late.len()
-        // of which are implicit zeros (met deadlines).
-        let rank = (q_num * n).div_ceil(q_den).clamp(1, n) as usize;
-        let zeros = n as usize - late.len();
-        if rank <= zeros {
-            0
-        } else {
-            late[rank - zeros - 1]
+        // The first n - late.len() samples are implicit zeros (met deadlines).
+        nearest_rank_percentile(&late, n.saturating_sub(late.len() as u64), q_num, q_den)
+    }
+}
+
+/// Lifecycle record of one fleet session (one tenant arrival in an
+/// open-loop run). Rejected sessions keep `admitted_at == departed_at ==
+/// submitted` so their wait/latency read as zero; filter on
+/// [`SessionStats::rejected`] before aggregating.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Global session id (arrival order).
+    pub id: u32,
+    /// Application name.
+    pub app: String,
+    /// Fabric the session ran on (`None` when rejected).
+    pub fabric: Option<usize>,
+    /// Scheduling weight.
+    pub weight: u64,
+    /// Global time the session was submitted (arrival).
+    pub submitted: Cycles,
+    /// Global time the session started running on its fabric.
+    pub admitted_at: Cycles,
+    /// Global time the session's last block finished.
+    pub departed_at: Cycles,
+    /// True when admission control or a full wait queue turned it away.
+    pub rejected: bool,
+    /// True when the session waited in the queue before admission.
+    pub queued: bool,
+}
+
+impl SessionStats {
+    /// Time spent between submission and first dispatch opportunity.
+    #[must_use]
+    pub fn queue_wait(&self) -> Cycles {
+        self.admitted_at - self.submitted
+    }
+
+    /// Submission-to-departure latency (the fleet's per-session metric).
+    #[must_use]
+    pub fn latency(&self) -> Cycles {
+        self.departed_at - self.submitted
+    }
+}
+
+/// Per-fabric aggregates of a fleet run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FabricStats {
+    /// Fabric index.
+    pub fabric: usize,
+    /// Sessions that ran (to completion) on this fabric.
+    pub sessions: u64,
+    /// Cycles this fabric's core spent serving sessions.
+    pub busy_cycles: Cycles,
+    /// The fabric's local clock when its last session departed.
+    pub last_active: Cycles,
+}
+
+impl FabricStats {
+    /// Busy fraction of the fabric over `makespan`, in parts-per-million.
+    #[must_use]
+    pub fn util_ppm(&self, makespan: Cycles) -> u64 {
+        if makespan == Cycles::ZERO {
+            return 0;
         }
+        u64::try_from(u128::from(self.busy_cycles.get()) * 1_000_000 / u128::from(makespan.get()))
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// Aggregate statistics of one open-loop fleet run: offered vs. accepted
+/// load, per-session latencies, and fabric utilization over time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Label of the placement + arbiter + admission combination.
+    pub policy: String,
+    /// Sessions submitted (offered load).
+    pub offered: u64,
+    /// Sessions admitted and run to completion.
+    pub accepted: u64,
+    /// Sessions turned away (admission control or full queue).
+    pub rejected: u64,
+    /// Global wall-clock span (max over fabric clocks at drain).
+    pub makespan: Cycles,
+    /// Per-session lifecycle records, in arrival order.
+    pub sessions: Vec<SessionStats>,
+    /// Per-fabric aggregates, in fabric order.
+    pub fabrics: Vec<FabricStats>,
+    /// Width of each fabric-utilization window.
+    pub window_cycles: Cycles,
+    /// Busy cycles per fabric per window (`busy_windows[fabric][window]`);
+    /// all fabrics carry the same window count.
+    pub busy_windows: Vec<Vec<u64>>,
+}
+
+impl FleetStats {
+    /// Fraction of offered sessions that were accepted (1.0 when nothing
+    /// was offered).
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.accepted as f64 / self.offered as f64
+    }
+
+    /// Fraction of offered sessions that were rejected.
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / self.offered as f64
+    }
+
+    /// Fraction of offered sessions that had to wait in the queue.
+    #[must_use]
+    pub fn queued_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        let queued = self.sessions.iter().filter(|s| s.queued).count();
+        queued as f64 / self.offered as f64
+    }
+
+    /// Completed sessions per Mcycle of makespan (accepted throughput).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            return 0.0;
+        }
+        self.accepted as f64 / self.makespan.as_mcycles()
+    }
+
+    /// Exact nearest-rank session-latency percentile over completed
+    /// sessions (e.g. `latency_percentile(95, 100)` = p95), via the same
+    /// helper as [`MultitaskStats::tardiness_percentile`].
+    #[must_use]
+    pub fn latency_percentile(&self, q_num: u64, q_den: u64) -> u64 {
+        let lat: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|s| !s.rejected)
+            .map(|s| s.latency().get())
+            .collect();
+        nearest_rank_percentile(&lat, 0, q_num, q_den)
+    }
+
+    /// Mean queue wait over completed sessions, in cycles.
+    #[must_use]
+    pub fn mean_queue_wait(&self) -> f64 {
+        let (sum, n) = self
+            .sessions
+            .iter()
+            .filter(|s| !s.rejected)
+            .fold((0u128, 0u64), |(s, n), x| {
+                (s + u128::from(x.queue_wait().get()), n + 1)
+            });
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Jain fairness of fabric busy time within each utilization window —
+    /// how evenly placement spread load across fabrics over the run.
+    #[must_use]
+    pub fn window_jain(&self) -> Vec<f64> {
+        let windows = self.busy_windows.first().map_or(0, Vec::len);
+        (0..windows)
+            .map(|w| {
+                let xs: Vec<f64> = self
+                    .busy_windows
+                    .iter()
+                    .map(|f| f.get(w).copied().unwrap_or(0) as f64)
+                    .collect();
+                jain_index(&xs)
+            })
+            .collect()
+    }
+
+    /// Mean of [`FleetStats::window_jain`] (1.0 when there are no windows).
+    #[must_use]
+    pub fn mean_window_jain(&self) -> f64 {
+        let j = self.window_jain();
+        if j.is_empty() {
+            return 1.0;
+        }
+        j.iter().sum::<f64>() / j.len() as f64
+    }
+}
+
+impl fmt::Display for FleetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} offered, {} accepted ({:.1}%), {} rejected, \
+             makespan {:.3} Mcycles, {:.4} sessions/Mcycle",
+            self.policy,
+            self.offered,
+            self.accepted,
+            self.acceptance_rate() * 100.0,
+            self.rejected,
+            self.makespan.as_mcycles(),
+            self.throughput()
+        )?;
+        writeln!(
+            f,
+            "  latency p50/p95/p99 {:.3}/{:.3}/{:.3} Mcycles, \
+             mean queue wait {:.3} Mcycles, window Jain {:.3}",
+            Cycles::new(self.latency_percentile(50, 100)).as_mcycles(),
+            Cycles::new(self.latency_percentile(95, 100)).as_mcycles(),
+            Cycles::new(self.latency_percentile(99, 100)).as_mcycles(),
+            self.mean_queue_wait() / 1e6,
+            self.mean_window_jain()
+        )?;
+        for fb in &self.fabrics {
+            writeln!(
+                f,
+                "  fabric[{}]: {} sessions, busy {:.3} Mcycles ({:.1}% util)",
+                fb.fabric,
+                fb.sessions,
+                fb.busy_cycles.as_mcycles(),
+                fb.util_ppm(self.makespan) as f64 / 10_000.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -629,6 +870,76 @@ mod tests {
         assert_eq!(empty.aggregate_speedup(), 0.0);
         assert_eq!(empty.jain_fairness(), 1.0);
         assert_eq!(empty.throughput(), 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentile_edges() {
+        // Empty sample and degenerate denominator.
+        assert_eq!(nearest_rank_percentile(&[], 0, 95, 100), 0);
+        assert_eq!(nearest_rank_percentile(&[1, 2], 0, 95, 0), 0);
+        // All-zero sample.
+        assert_eq!(nearest_rank_percentile(&[], 5, 99, 100), 0);
+        // Pure nonzero sample: p50 of [10, 20, 30, 40] is rank 2.
+        assert_eq!(nearest_rank_percentile(&[40, 10, 30, 20], 0, 50, 100), 20);
+        // q = 0 clamps to rank 1; q = 100 is the max.
+        assert_eq!(nearest_rank_percentile(&[40, 10], 0, 0, 100), 10);
+        assert_eq!(nearest_rank_percentile(&[40, 10], 0, 100, 100), 40);
+        // Mixed zeros: {0,0,0,7} → p75 is the last zero, p100 the 7.
+        assert_eq!(nearest_rank_percentile(&[7], 3, 75, 100), 0);
+        assert_eq!(nearest_rank_percentile(&[7], 3, 100, 100), 7);
+    }
+
+    #[test]
+    fn fleet_stats_aggregates() {
+        let mk = |id: u32, submitted: u64, admitted: u64, departed: u64| SessionStats {
+            id,
+            app: "fft".into(),
+            fabric: Some(0),
+            weight: 1,
+            submitted: Cycles::new(submitted),
+            admitted_at: Cycles::new(admitted),
+            departed_at: Cycles::new(departed),
+            queued: admitted > submitted,
+            ..SessionStats::default()
+        };
+        let mut s = FleetStats {
+            policy: "rr/dynamic".into(),
+            offered: 4,
+            accepted: 3,
+            rejected: 1,
+            makespan: Cycles::new(4_000_000),
+            sessions: vec![
+                mk(0, 0, 0, 1_000_000),
+                mk(1, 0, 500_000, 3_500_000),
+                mk(2, 100, 100, 2_000_100),
+            ],
+            fabrics: vec![FabricStats {
+                fabric: 0,
+                sessions: 3,
+                busy_cycles: Cycles::new(2_000_000),
+                last_active: Cycles::new(4_000_000),
+            }],
+            ..FleetStats::default()
+        };
+        s.sessions.push(SessionStats {
+            id: 3,
+            rejected: true,
+            ..SessionStats::default()
+        });
+        assert!((s.acceptance_rate() - 0.75).abs() < 1e-12);
+        assert!((s.rejection_rate() - 0.25).abs() < 1e-12);
+        assert!((s.queued_rate() - 0.25).abs() < 1e-12);
+        assert!((s.throughput() - 0.75).abs() < 1e-12);
+        // Latencies: 1_000_000, 3_500_000, 2_000_000 (rejected excluded).
+        assert_eq!(s.latency_percentile(50, 100), 2_000_000);
+        assert_eq!(s.latency_percentile(99, 100), 3_500_000);
+        assert!((s.mean_queue_wait() - 500_000.0 / 3.0).abs() < 1e-6);
+        assert_eq!(s.fabrics[0].util_ppm(s.makespan), 500_000);
+        // Perfectly even windows → Jain 1.0 in each.
+        s.busy_windows = vec![vec![10, 0], vec![10, 0]];
+        assert_eq!(s.window_jain(), vec![1.0, 1.0]);
+        assert!((FleetStats::default().acceptance_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(FleetStats::default().latency_percentile(95, 100), 0);
     }
 
     #[test]

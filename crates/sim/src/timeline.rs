@@ -245,6 +245,32 @@ pub enum SimEvent {
         /// The mispredicted unit.
         unit: UnitId,
     },
+    /// A fleet session was admitted onto a fabric (open-loop runs): the
+    /// session's tenant simulator joins the fabric's runner and becomes
+    /// runnable. `queued_for` is how long the session waited between
+    /// submission and this admission (0 when admitted on arrival).
+    SessionAdmitted {
+        /// Admission time on the fabric's clock.
+        at: Cycles,
+        /// Global session id.
+        session: u32,
+        /// The fabric the session was placed on.
+        fabric: u32,
+        /// Queue wait between submission and admission.
+        queued_for: Cycles,
+    },
+    /// A fleet session finished its last block and left its fabric,
+    /// freeing its slice for re-apportionment or a queued session.
+    SessionDeparted {
+        /// Departure time on the fabric's clock.
+        at: Cycles,
+        /// Global session id.
+        session: u32,
+        /// The fabric the session ran on.
+        fabric: u32,
+        /// Submission-to-departure latency.
+        latency: Cycles,
+    },
     /// A functional-block activation completed.
     BlockEnd {
         /// Completion time (block start + makespan).
@@ -277,6 +303,8 @@ impl SimEvent {
             | SimEvent::PrefetchIssued { at, .. }
             | SimEvent::PrefetchHit { at, .. }
             | SimEvent::PrefetchWasted { at, .. }
+            | SimEvent::SessionAdmitted { at, .. }
+            | SimEvent::SessionDeparted { at, .. }
             | SimEvent::BlockEnd { at, .. } => *at,
         }
     }
