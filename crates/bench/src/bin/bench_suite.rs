@@ -32,7 +32,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use mrts_arch::{ArchParams, Cycles, ReconfigurationController, Resources};
-use mrts_bench::{fig8_combos, par, print_header, Testbed, DEFAULT_SEED};
+use mrts_bench::{fig8_combos, par, print_header, DomainTestbed, Testbed, DEFAULT_SEED};
 use mrts_core::selector::{select_ises, SelectorConfig};
 use mrts_core::{Mrts, MrtsConfig, PrefetchConfig};
 use mrts_fleet::{run_fleet, AppRegistry, FleetConfig, PoissonConfig};
@@ -590,6 +590,67 @@ fn main() {
         threads: 1,
     });
 
+    // --- 6. Ingestion pipeline: manifest -> application lowering --------
+    // Full front-end cost for the largest builtin manifest (h264: 11
+    // kernels, 13 functional blocks): validation, dead-op elimination,
+    // clustering and application construction. Deterministic work, so the
+    // wall number tracks the pass pipeline itself.
+    let ing_reps = if quick { 20 } else { 500 };
+    let ing_manifest = mrts_ingest::builtin::load("h264").expect("builtin h264 manifest");
+    let warm = mrts_ingest::lower(&ing_manifest).expect("h264 manifest lowers");
+    let ing_start = Instant::now();
+    for _ in 0..ing_reps {
+        let l = mrts_ingest::lower(&ing_manifest).expect("h264 manifest lowers");
+        assert_eq!(l.app.kernel_count(), warm.app.kernel_count());
+    }
+    let ingest_lower_us = ing_start.elapsed().as_secs_f64() * 1e6 / ing_reps as f64;
+    println!(
+        "ingest: h264 manifest ({} kernels) lowered in {ingest_lower_us:>7.2} us \
+         ({} dead ops removed)",
+        warm.app.kernel_count(),
+        warm.dce.removed_ops
+    );
+    entries.push(Entry {
+        name: "ingest_lower_us",
+        value: ingest_lower_us,
+        unit: "us",
+        threads: 1,
+    });
+
+    // --- 6b. Cross-domain simulator throughput --------------------------
+    // Whole-trace mRTS runs on the two ingested domains `fig_domains`
+    // sweeps (cv, cryptomix), same 2 CG + 2 PRC machine and protocol as
+    // the h264 `simulator_throughput` entry — catching a throughput
+    // regression that only bites a non-reference op/rate mix.
+    for (spec, entry_name) in [
+        ("cv", "domain_cv_throughput"),
+        ("cryptomix", "domain_cryptomix_throughput"),
+    ] {
+        let dtb = DomainTestbed::new(spec, DEFAULT_SEED);
+        let mut per_run = f64::MAX;
+        for _ in 0..sim_reps {
+            let mut policy = Mrts::new();
+            let mut sim = Simulator::new(&dtb.catalog, dtb.machine(combo));
+            let t = Instant::now();
+            let stats = sim.run_trace(&dtb.trace, &mut policy);
+            sim.finish_events();
+            per_run = per_run.min(t.elapsed().as_secs_f64());
+            assert!(stats.total_busy().get() > 0);
+        }
+        let blocks_per_s = dtb.trace.len() as f64 / per_run.max(1e-12);
+        println!(
+            "domain '{spec}': {} blocks in {:.1} ms per run -> {blocks_per_s:>10.0} blocks/s",
+            dtb.trace.len(),
+            per_run * 1e3
+        );
+        entries.push(Entry {
+            name: entry_name,
+            value: blocks_per_s,
+            unit: "blocks/s",
+            threads: 1,
+        });
+    }
+
     // --- Write BENCH_perf.json (stable field order, hand-rendered) ------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"suite\": \"mrts-bench\",");
@@ -621,6 +682,9 @@ fn main() {
             ("engine_step_us", false),
             ("simulator_throughput", true),
             ("fleet_sessions_per_sec", true),
+            ("ingest_lower_us", false),
+            ("domain_cv_throughput", true),
+            ("domain_cryptomix_throughput", true),
         ] {
             let Some(old) = baseline_value(&baseline, name) else {
                 println!("compare: baseline has no '{name}' entry — skipped");

@@ -179,6 +179,79 @@ impl Testbed {
     }
 }
 
+/// A [`Testbed`] generalised over the application domain: built from any
+/// app spec the ingestion pipeline resolves (a builtin name such as
+/// `h264`/`cv`/`cryptomix` or a manifest path), so `fig_domains` can run
+/// the same contenders over every domain with one code path.
+#[derive(Debug)]
+pub struct DomainTestbed {
+    /// The application's display name (from the lowered manifest).
+    pub name: String,
+    /// The compile-time ISE catalogue.
+    pub catalog: IseCatalog,
+    /// The trace of the whole run.
+    pub trace: Trace,
+    /// The profiling summary for the offline baselines.
+    pub totals: ProfiledTotals,
+}
+
+impl DomainTestbed {
+    /// Builds the testbed for `spec` (paper video model, paper
+    /// architecture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not resolve or its kernels fail to map —
+    /// the specs the harness passes are the checked-in builtins, covered
+    /// by the ingest crate's tests.
+    #[must_use]
+    pub fn new(spec: &str, seed: u64) -> Self {
+        let model =
+            mrts_ingest::model(spec).unwrap_or_else(|e| panic!("ingest '{spec}' failed: {e}"));
+        let name = model.application().name().to_owned();
+        let catalog = model
+            .application()
+            .build_catalog(ArchParams::default(), None)
+            .expect("ingested kernels are mappable");
+        let trace = TraceBuilder::new(&model)
+            .video(VideoModel::paper_default(seed))
+            .build();
+        let totals = ProfiledTotals::from_trace(&trace);
+        DomainTestbed {
+            name,
+            catalog,
+            trace,
+            totals,
+        }
+    }
+
+    /// A fresh machine with the given fabric combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on invalid default parameters (impossible).
+    #[must_use]
+    pub fn machine(&self, combo: Resources) -> Machine {
+        Machine::new(ArchParams::default(), combo).expect("default params are valid")
+    }
+
+    /// Runs one policy on one fabric combination.
+    #[must_use]
+    pub fn run(&self, combo: Resources, policy: &mut dyn RuntimePolicy) -> RunStats {
+        Simulator::run(&self.catalog, self.machine(combo), &self.trace, policy)
+    }
+
+    /// Runs the domain-comparison contenders on one combination.
+    /// Returns `(risc, rispp, mrts)`.
+    #[must_use]
+    pub fn run_domain_contenders(&self, combo: Resources) -> (RunStats, RunStats, RunStats) {
+        let risc = self.run(combo, &mut RiscOnlyPolicy::new());
+        let rispp = self.run(combo, &mut RisppPolicy::new());
+        let mrts = self.run(combo, &mut Mrts::new());
+        (risc, rispp, mrts)
+    }
+}
+
 /// Geometric mean of a slice (1.0 for empty input).
 #[must_use]
 pub fn geo_mean(xs: &[f64]) -> f64 {

@@ -16,22 +16,17 @@ use mrts_sim::{
     events_to_jsonl, ExecClass, MultitaskStats, PrefetchStats, RecoveryConfig, RiscOnlyPolicy,
     RunStats, RuntimePolicy, Simulator, VecSink,
 };
-use mrts_workload::apps::{CipherApp, FftApp};
-use mrts_workload::h264::H264Encoder;
-use mrts_workload::synthetic::ToyApp;
 use mrts_workload::{Trace, TraceBuilder, VideoModel, WorkloadModel};
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 type BuildOutput = (Box<dyn WorkloadModel>, IseCatalog, Trace);
 
+/// Resolves `--app` through the ingestion pipeline: builtin names
+/// (`h264|fft|cipher|toy|cv|cryptomix`) and manifest paths both lower
+/// through the same IR, so every subcommand accepts either.
 fn model(name: &str) -> Result<Box<dyn WorkloadModel>, String> {
-    match name {
-        "h264" => Ok(Box::new(H264Encoder::new())),
-        "fft" => Ok(Box::new(FftApp::new())),
-        "cipher" => Ok(Box::new(CipherApp::new())),
-        "toy" => Ok(Box::new(ToyApp::new())),
-        other => Err(format!("unknown app '{other}' (h264|fft|cipher|toy)")),
-    }
+    let m = mrts_ingest::model(name).map_err(|e| e.to_string())?;
+    Ok(Box::new(m))
 }
 
 fn build(args: &Args) -> Result<BuildOutput, Box<dyn std::error::Error>> {
@@ -852,6 +847,114 @@ pub fn pif(args: &Args) -> CliResult {
             print!(" {:>9.3}", ise.performance_improvement_factor(e, *r));
         }
         println!();
+    }
+    Ok(())
+}
+
+/// `mrts-cli ingest` — validate, dump or lower a workload manifest.
+///
+/// * `--check SPEC` runs the full pass pipeline and prints the derived
+///   catalogue summary without simulating; a pass error exits non-zero
+///   with the offending field's path.
+/// * `--dump SPEC` prints (or `--out` writes) the canonical manifest JSON.
+/// * `--lower SPEC` prints (or `--out` writes) the derived catalogue JSON.
+/// * `--replay EVENTS.jsonl` (with `--check`) folds an exported event
+///   spine into the report as observed per-kernel execution shares.
+///
+/// `SPEC` is a builtin app name or a manifest file path, exactly as
+/// accepted by `--app` elsewhere.
+pub fn ingest(args: &Args) -> CliResult {
+    args.expect_only(&["check", "dump", "lower", "out", "replay"])?;
+    let modes = [args.get("check"), args.get("dump"), args.get("lower")]
+        .iter()
+        .flatten()
+        .count();
+    if modes != 1 {
+        return Err("ingest needs exactly one of --check, --dump or --lower SPEC".into());
+    }
+
+    if let Some(spec) = args.get("dump") {
+        let manifest = mrts_ingest::builtin::load(spec)?;
+        return emit(args, manifest.to_json(), "manifest");
+    }
+    if let Some(spec) = args.get("lower") {
+        let manifest = mrts_ingest::builtin::load(spec)?;
+        let lowered = mrts_ingest::lower(&manifest)?;
+        let catalog = lowered.derive_catalog(ArchParams::default(), None)?;
+        let mut json = serde_json::to_string_pretty(&catalog)?;
+        json.push('\n');
+        return emit(args, json, "catalogue");
+    }
+
+    let spec = args.get("check").expect("mode counted above");
+    let manifest = mrts_ingest::builtin::load(spec)?;
+    let lowered = mrts_ingest::lower(&manifest)?;
+    let catalog = lowered.derive_catalog(ArchParams::default(), None)?;
+    println!(
+        "manifest '{}' OK: {} kernels, {} functional blocks, {} dead ops removed",
+        lowered.app.name(),
+        lowered.app.kernel_specs().len(),
+        lowered.app.blocks().len(),
+        lowered.dce.removed_ops,
+    );
+    println!(
+        "catalogue: {} ISE variants over {} kernels",
+        catalog.ises().len(),
+        catalog.kernels().len(),
+    );
+    println!(
+        "  {:<14} {:>8} {:>5} {:>9} {:>9}  area/latency points",
+        "kernel", "affinity", "ops", "bit-frac", "variants"
+    );
+    for (idx, cluster) in lowered.clusters.iter().enumerate() {
+        let id = mrts_ise::KernelId(idx as u16);
+        let points = mrts_ingest::passes::tradeoff_points(&catalog, id);
+        let curve: Vec<String> = points
+            .iter()
+            .map(|p| format!("{}u/{}c", p.area, p.latency.get()))
+            .collect();
+        println!(
+            "  {:<14} {:>8} {:>5} {:>9.2} {:>9}  {}",
+            cluster.kernel,
+            cluster.affinity(),
+            cluster.ops,
+            cluster.bit_fraction,
+            catalog.ises_of(id).len(),
+            curve.join(" ")
+        );
+    }
+    if let Some(path) = args.get("replay") {
+        let text = std::fs::read_to_string(path)?;
+        let profile = mrts_ingest::events::profile_jsonl(&text)?;
+        println!(
+            "replayed spine: {} lines, {} block starts, {} executions",
+            profile.lines,
+            profile.block_starts,
+            profile.total_executions()
+        );
+        for (k, count) in &profile.executions {
+            let name = lowered
+                .app
+                .kernel_specs()
+                .get(*k as usize)
+                .map_or("?", |spec| spec.name());
+            println!(
+                "  kernel {k} ({name}): {count} executions ({:.1}% share)",
+                100.0 * profile.share(*k)
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Writes `text` to `--out` (reporting size) or prints it.
+fn emit(args: &Args, text: String, what: &str) -> CliResult {
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            println!("wrote {what} ({} bytes) to {path}", text.len());
+        }
+        None => print!("{text}"),
     }
     Ok(())
 }

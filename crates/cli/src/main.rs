@@ -17,6 +17,8 @@
 //!                   [--events-out FILE] [--threads N]
 //! mrts-cli trace    [--app ..] [--seed N] [--out FILE]
 //! mrts-cli pif      [--app ..] [--kernel NAME] [--max-exec N]
+//! mrts-cli ingest   [--check SPEC] [--dump SPEC] [--lower SPEC]
+//!                   [--out FILE] [--replay EVENTS.jsonl]
 //! ```
 
 mod args;
@@ -39,10 +41,12 @@ COMMANDS:
     fleet      run an open-loop session fleet over several fabric shards
     trace      generate a workload trace and write it as JSON
     pif        print the Eq. 1 performance-improvement table for a kernel
+    ingest     validate, dump or lower a workload manifest (no simulation)
     help       show this message
 
 COMMON FLAGS:
-    --app      h264 (default) | fft | cipher | toy
+    --app      h264 (default) | fft | cipher | toy | cv | cryptomix,
+               or a path to a workload manifest (.json)
     --seed     video/workload seed (default 1)
     --cg       physical CG-EDPEs (default 2)
     --prc      PRCs (default 2)
@@ -88,6 +92,14 @@ FLEET-ONLY FLAGS:
     --arrivals-in  replay a JSONL arrival trace instead of generating one
     --arrivals-out write the generated arrival trace as JSONL to FILE
 
+INGEST-ONLY FLAGS:
+    --check SPEC   run the pass pipeline and print the derived catalogue
+                   summary; exits non-zero with the offending field on error
+    --dump SPEC    print the canonical manifest JSON (builtins included)
+    --lower SPEC   print the derived ISE catalogue as JSON
+    --out FILE     write --dump/--lower output to FILE instead of stdout
+    --replay FILE  fold a --events-out JSONL spine into the --check report
+
 EXAMPLES:
     mrts-cli simulate --app h264 --cg 2 --prc 2 --policy mrts
     mrts-cli simulate --app h264 --policy mrts --fault-rate 0.001 --fault-seed 7
@@ -98,6 +110,9 @@ EXAMPLES:
     mrts-cli fleet --sessions 10000 --fabrics 4 --placement crit --admission queue
     mrts-cli fleet --sessions 2000 --arrivals-out arr.jsonl --events-out ev.jsonl --threads 4
     mrts-cli pif --kernel deblock --max-exec 10000
+    mrts-cli ingest --check manifests/h264.json
+    mrts-cli ingest --dump cv --out manifests/cv.json
+    mrts-cli simulate --app manifests/cryptomix.json --policy mrts
 ";
 
 fn main() -> ExitCode {
@@ -116,6 +131,7 @@ fn main() -> ExitCode {
         Some("fleet") => commands::fleet(&args),
         Some("trace") => commands::trace(&args),
         Some("pif") => commands::pif(&args),
+        Some("ingest") => commands::ingest(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())

@@ -10,9 +10,7 @@
 use mrts_arch::ArchParams;
 use mrts_ise::IseCatalog;
 use mrts_multitask::{prep_session, MultitaskError, TenantPrep, TenantSpec};
-use mrts_workload::apps::{CipherApp, FftApp};
-use mrts_workload::h264::H264Encoder;
-use mrts_workload::synthetic::{synthetic_trace, Pattern, ToyApp};
+use mrts_workload::synthetic::{synthetic_trace, Pattern};
 use mrts_workload::{Trace, TraceBuilder, VideoModel, WorkloadModel};
 
 /// One registered application: its catalogue and variant traces.
@@ -27,7 +25,8 @@ struct AppEntry {
 /// Errors of [`AppRegistry::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegistryError {
-    /// An app name no workload model matches.
+    /// An app spec the ingestion pipeline cannot resolve (unknown name,
+    /// unreadable manifest path, or a manifest that fails a pass).
     UnknownApp(String),
     /// Catalogue construction failed.
     Catalog(String),
@@ -38,9 +37,7 @@ pub enum RegistryError {
 impl std::fmt::Display for RegistryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RegistryError::UnknownApp(n) => {
-                write!(f, "unknown app '{n}' (h264|fft|cipher|toy)")
-            }
+            RegistryError::UnknownApp(n) => write!(f, "cannot resolve app {n}"),
             RegistryError::Catalog(e) => write!(f, "catalogue construction failed: {e}"),
             RegistryError::Prep(e) => write!(f, "session prep failed: {e}"),
         }
@@ -49,13 +46,12 @@ impl std::fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
+/// Resolves an app name through the ingestion pipeline, so fleet sessions
+/// accept builtin names and manifest paths alike (see `mrts-ingest`).
 fn model(name: &str) -> Result<Box<dyn WorkloadModel>, RegistryError> {
-    match name {
-        "h264" => Ok(Box::new(H264Encoder::new())),
-        "fft" => Ok(Box::new(FftApp::new())),
-        "cipher" => Ok(Box::new(CipherApp::new())),
-        "toy" => Ok(Box::new(ToyApp::new())),
-        other => Err(RegistryError::UnknownApp(other.to_owned())),
+    match mrts_ingest::model(name) {
+        Ok(m) => Ok(Box::new(m)),
+        Err(e) => Err(RegistryError::UnknownApp(format!("{name}: {e}"))),
     }
 }
 
@@ -99,8 +95,8 @@ impl AppRegistry {
     /// preps for every distinct name in `apps` (duplicates collapse). The
     /// `toy` app gets short synthetic traces (`4 + v % 5` activations of a
     /// seeded pattern — sessions cheap enough to churn by the tens of
-    /// thousands); the video apps (`h264`, `fft`, `cipher`) replay the
-    /// paper's video model reseeded per variant, truncated to
+    /// thousands); every other app (builtin or manifest-sourced) replays
+    /// the paper's video model reseeded per variant, truncated to
     /// `max_blocks` activations so a session stays session-sized.
     ///
     /// # Errors

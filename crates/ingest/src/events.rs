@@ -1,0 +1,107 @@
+//! Optional front-end input: a replayed JSONL event spine.
+//!
+//! `mrts-cli simulate --events-out FILE` writes the run's deterministic
+//! event log (`{"tenant":…,"event":{"ExecBatch":{…}}}` per line). This
+//! module profiles such a spine into per-kernel observed execution totals,
+//! which `mrts-cli ingest --check --replay FILE` compares against the
+//! manifest's modeled rates — a cheap calibration check that a manifest's
+//! frequency model matches what a real run actually did.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::IngestError;
+
+/// Observed per-kernel activity of one event spine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventProfile {
+    /// Total executions per kernel index (`ExecBatch.count` sums).
+    pub executions: BTreeMap<u64, u64>,
+    /// Functional-block activations seen (`BlockStart` events).
+    pub block_starts: u64,
+    /// JSONL lines read.
+    pub lines: usize,
+}
+
+impl EventProfile {
+    /// Total executions across all kernels.
+    #[must_use]
+    pub fn total_executions(&self) -> u64 {
+        self.executions.values().sum()
+    }
+
+    /// The observed execution share of kernel `k`, `0.0..=1.0`.
+    #[must_use]
+    pub fn share(&self, k: u64) -> f64 {
+        let total = self.total_executions();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.executions.get(&k).unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+fn kernel_index(v: &Value) -> Option<u64> {
+    // KernelId serialises as a bare integer; be liberal and accept a
+    // one-element sequence too (newtype encodings).
+    v.as_u64()
+        .or_else(|| v.as_seq().and_then(|s| s.first()).and_then(|f| f.as_u64()))
+}
+
+/// Profiles a JSONL event spine (the `--events-out` format).
+///
+/// # Errors
+///
+/// [`IngestError::Syntax`] on a malformed line (with its line number).
+pub fn profile_jsonl(text: &str) -> Result<EventProfile, IngestError> {
+    let mut profile = EventProfile::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| IngestError::Syntax(format!("events line {}: {e}", i + 1)))?;
+        profile.lines += 1;
+        let event = v.get_field("event").ok_or_else(|| {
+            IngestError::Syntax(format!("events line {}: no 'event' field", i + 1))
+        })?;
+        if let Some(batch) = event.get_field("ExecBatch") {
+            let kernel = batch
+                .get_field("kernel")
+                .and_then(kernel_index)
+                .ok_or_else(|| {
+                    IngestError::Syntax(format!("events line {}: ExecBatch without kernel", i + 1))
+                })?;
+            let count = batch
+                .get_field("count")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            *profile.executions.entry(kernel).or_insert(0) += count;
+        } else if event.get_field("BlockStart").is_some() {
+            profile.block_starts += 1;
+        }
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_exec_batches_and_block_starts() {
+        let spine = concat!(
+            "{\"tenant\":0,\"event\":{\"BlockStart\":{\"at\":0,\"block\":0,\"frame\":0}}}\n",
+            "{\"tenant\":0,\"event\":{\"ExecBatch\":{\"at\":10,\"kernel\":1,\"class\":\"Risc\",\"count\":5,\"latency\":7}}}\n",
+            "{\"tenant\":0,\"event\":{\"ExecBatch\":{\"at\":20,\"kernel\":1,\"class\":\"Risc\",\"count\":3,\"latency\":7}}}\n",
+            "{\"tenant\":0,\"event\":{\"ExecBatch\":{\"at\":30,\"kernel\":2,\"class\":\"Risc\",\"count\":2,\"latency\":7}}}\n",
+        );
+        let p = profile_jsonl(spine).expect("profiles");
+        assert_eq!(p.block_starts, 1);
+        assert_eq!(p.executions.get(&1), Some(&8));
+        assert_eq!(p.total_executions(), 10);
+        assert!((p.share(1) - 0.8).abs() < 1e-12);
+        assert!(profile_jsonl("not json\n").is_err());
+    }
+}

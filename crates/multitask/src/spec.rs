@@ -14,7 +14,9 @@ use crate::slo::Slo;
 /// it to a catalogue and a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantRequest {
-    /// Application model name (e.g. `h264`, `fft`, `cipher`, `toy`).
+    /// Application model spec: a builtin name (e.g. `h264`, `fft`,
+    /// `cipher`, `toy`, `cv`, `cryptomix`) or a workload-manifest path,
+    /// resolved later by the CLI/fleet layers through `mrts-ingest`.
     pub app: String,
     /// Scheduling weight (defaults to 1).
     pub weight: u64,

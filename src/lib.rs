@@ -13,6 +13,7 @@ pub use mrts_arch as arch;
 pub use mrts_baselines as baselines;
 pub use mrts_core as core;
 pub use mrts_fleet as fleet;
+pub use mrts_ingest as ingest;
 pub use mrts_ise as ise;
 pub use mrts_multitask as multitask;
 pub use mrts_sim as sim;
